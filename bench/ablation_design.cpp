@@ -1,0 +1,64 @@
+// Ablations of FluidFaaS's design decisions (DESIGN.md §4): pipelines,
+// eviction-based time sharing, pipeline migration, and the CV ranking
+// policy, each toggled in isolation on the medium and heavy workloads.
+#include "bench/bench_util.h"
+
+using namespace fluidfaas;
+
+namespace {
+
+harness::ExperimentResult Run(trace::WorkloadTier tier,
+                              void (*mutate)(platform::PlatformConfig&)) {
+  auto cfg = bench::PaperConfig(tier);
+  cfg.system = harness::SystemKind::kFluidFaas;
+  if (mutate) mutate(cfg.platform);
+  return harness::RunExperiment(cfg);
+}
+
+void Report(metrics::Table& table, const char* name,
+            const harness::ExperimentResult& r,
+            const harness::ExperimentResult& base) {
+  table.AddRow(
+      {name, metrics::Fmt(r.throughput_rps, 1),
+       metrics::FmtPercent(r.slo_hit_rate),
+       metrics::Fmt(100.0 * (r.throughput_rps / base.throughput_rps - 1.0),
+                    1) +
+           "%",
+       std::to_string(r.pipelines_launched), std::to_string(r.evictions),
+       std::to_string(r.migrations)});
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation — FluidFaaS design features toggled in isolation",
+                "DESIGN.md §4 (extension beyond the paper)");
+  for (auto tier :
+       {trace::WorkloadTier::kMedium, trace::WorkloadTier::kHeavy}) {
+    metrics::Table table({"configuration", "thr (rps)", "SLO hit",
+                          "thr vs full", "pipes", "evictions", "migrations"});
+    auto full = Run(tier, nullptr);
+    Report(table, "full FluidFaaS", full, full);
+    auto no_pipe = Run(tier, [](platform::PlatformConfig& c) {
+      c.enable_pipelines = false;
+    });
+    Report(table, "- pipelines", no_pipe, full);
+    auto no_ts = Run(tier, [](platform::PlatformConfig& c) {
+      c.enable_time_sharing = false;
+    });
+    Report(table, "- time sharing", no_ts, full);
+    auto no_mig = Run(tier, [](platform::PlatformConfig& c) {
+      c.enable_migration = false;
+    });
+    Report(table, "- migration", no_mig, full);
+    auto shallow = Run(tier, [](platform::PlatformConfig& c) {
+      c.max_stages = 2;
+    });
+    Report(table, "max 2 stages", shallow, full);
+
+    std::cout << "--- " << trace::Name(tier) << " workload ---\n";
+    table.Print();
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared configuration and printing helpers for the figure/table benches.
+//
+// Every bench binary reproduces one table or figure of the paper (see
+// DESIGN.md §3) at the paper's cluster scale: 2 nodes × 8 A100s, default
+// partition 4g.40gb+2g.20gb+1g.10gb per GPU. Durations are simulated time;
+// override with FFS_BENCH_DURATION_S for quicker smoke runs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "metrics/report.h"
+
+namespace fluidfaas::bench {
+
+inline SimDuration BenchDuration(double default_seconds = 150.0) {
+  if (const char* env = std::getenv("FFS_BENCH_DURATION_S")) {
+    const double s = std::atof(env);
+    if (s > 0) return Seconds(s);
+  }
+  return Seconds(default_seconds);
+}
+
+inline harness::ExperimentConfig PaperConfig(trace::WorkloadTier tier) {
+  harness::ExperimentConfig cfg;
+  cfg.tier = tier;
+  cfg.num_nodes = 2;
+  cfg.gpus_per_node = 8;
+  cfg.duration = BenchDuration();
+  cfg.seed = 1234;
+  return cfg;
+}
+
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "(reproduces " << paper_ref << "; simulated A100 cluster — "
+            << "compare shapes, not absolute numbers; see EXPERIMENTS.md)\n\n";
+}
+
+}  // namespace fluidfaas::bench

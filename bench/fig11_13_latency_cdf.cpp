@@ -1,0 +1,68 @@
+// Figures 11-13: end-to-end latency CDFs per application for heavy (11),
+// medium (12) and light (13) workloads. Pass "heavy", "medium" or "light"
+// to restrict to one tier; default runs all three.
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+
+using namespace fluidfaas;
+
+namespace {
+
+void PrintTier(trace::WorkloadTier tier) {
+  auto results = harness::RunComparison(bench::PaperConfig(tier));
+  const auto& names = results[0].function_names;
+
+  std::cout << "--- " << trace::Name(tier) << " workload ---\n";
+  const std::vector<double> qs = {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99};
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    metrics::Table table({"system", "p10", "p25", "p50", "p75", "p90", "p95",
+                          "p99"});
+    for (const auto& r : results) {
+      auto lats = r.recorder->LatenciesSeconds(
+          FunctionId(static_cast<std::int32_t>(f)));
+      if (lats.empty()) continue;
+      auto ps = Percentiles(lats, qs);
+      std::vector<std::string> row = {r.system};
+      for (double p : ps) row.push_back(metrics::Fmt(p, 3) + "s");
+      table.AddRow(row);
+    }
+    std::cout << names[f] << ":\n";
+    table.Print();
+  }
+  // The paper's headline: P95 tail-latency reduction vs ESG.
+  auto p95 = [&](const harness::ExperimentResult& r) {
+    auto lats = r.recorder->LatenciesSeconds();
+    return lats.empty() ? 0.0 : Percentile(lats, 0.95);
+  };
+  const double esg95 = p95(results[1]);
+  const double fluid95 = p95(results[2]);
+  if (esg95 > 0) {
+    std::cout << "P95 (all apps): ESG " << metrics::Fmt(esg95, 3)
+              << "s, FluidFaaS " << metrics::Fmt(fluid95, 3) << "s ("
+              << metrics::Fmt(100.0 * (1.0 - fluid95 / esg95), 1)
+              << "% reduction; paper: up to 81% heavy / 70% medium)\n\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner("Figures 11-13 — end-to-end latency distributions",
+                "Figs. 11, 12, 13");
+  if (argc > 1) {
+    if (!std::strcmp(argv[1], "heavy")) {
+      PrintTier(trace::WorkloadTier::kHeavy);
+    } else if (!std::strcmp(argv[1], "medium")) {
+      PrintTier(trace::WorkloadTier::kMedium);
+    } else {
+      PrintTier(trace::WorkloadTier::kLight);
+    }
+    return 0;
+  }
+  PrintTier(trace::WorkloadTier::kHeavy);
+  PrintTier(trace::WorkloadTier::kMedium);
+  PrintTier(trace::WorkloadTier::kLight);
+  return 0;
+}

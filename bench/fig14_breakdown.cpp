@@ -1,0 +1,43 @@
+// Figure 14: end-to-end latency breakdown (queueing / loading / execution /
+// data transfer) per application, ESG vs FluidFaaS, per workload.
+#include "bench/bench_util.h"
+
+using namespace fluidfaas;
+
+int main() {
+  bench::Banner("Figure 14 — latency breakdown (left ESG, right FluidFaaS)",
+                "Fig. 14");
+  for (auto tier : {trace::WorkloadTier::kLight, trace::WorkloadTier::kMedium,
+                    trace::WorkloadTier::kHeavy}) {
+    auto cfg = bench::PaperConfig(tier);
+    cfg.system = harness::SystemKind::kEsg;
+    auto esg = harness::RunExperiment(cfg);
+    cfg.system = harness::SystemKind::kFluidFaas;
+    auto fluid = harness::RunExperiment(cfg);
+
+    metrics::Table table({"Application", "System", "queue", "load", "exec",
+                          "transfer", "total"});
+    const auto& names = esg.function_names;
+    for (std::size_t f = 0; f < names.size(); ++f) {
+      const FunctionId fn(static_cast<std::int32_t>(f));
+      for (const auto* r : {&esg, &fluid}) {
+        const auto bd = r->recorder->MeanBreakdown(fn);
+        table.AddRow({names[f], r->system, metrics::FmtMillis(bd.queue),
+                      metrics::FmtMillis(bd.load), metrics::FmtMillis(bd.exec),
+                      metrics::FmtMillis(bd.transfer),
+                      metrics::FmtMillis(bd.queue + bd.load + bd.exec +
+                                         bd.transfer)});
+      }
+    }
+    std::cout << "--- " << trace::Name(tier) << " workload ---\n";
+    table.Print();
+    const auto e = esg.recorder->MeanBreakdown();
+    const auto q = fluid.recorder->MeanBreakdown();
+    std::cout << "transfer overhead: ESG " << metrics::FmtMillis(e.transfer)
+              << " vs FluidFaaS " << metrics::FmtMillis(q.transfer)
+              << " (paper: 1-5ms vs 10-40ms per pipelined request); "
+              << "queueing: ESG " << metrics::FmtMillis(e.queue)
+              << " vs FluidFaaS " << metrics::FmtMillis(q.queue) << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// google-benchmark microbenches for the hot algorithmic paths: the DES
+// event queue, the CV partition enumerator, pipeline planning against a
+// cluster, the ESG A* search, and the SPSC runtime channel.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "baselines/esg_search.h"
+#include "common/rng.h"
+#include "core/partitioner.h"
+#include "core/pipeline.h"
+#include "model/synthetic.h"
+#include "model/zoo.h"
+#include "runtime/spsc_ring.h"
+#include "sim/simulator.h"
+
+namespace fluidfaas {
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.Schedule(rng.UniformInt(0, 1'000'000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.Pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventCascade(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = n;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) sim.After(1, next);
+    };
+    sim.After(0, next);
+    sim.Run();
+    benchmark::DoNotOptimize(sim.Now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorEventCascade)->Arg(10000);
+
+void BM_PartitionEnumeration(benchmark::State& state) {
+  const auto dag = model::BuildApp(3, model::Variant::kMedium);  // 5 nodes
+  for (auto _ : state) {
+    auto cands = core::EnumerateRankedPipelines(dag, 4);
+    benchmark::DoNotOptimize(cands.size());
+  }
+}
+BENCHMARK(BM_PartitionEnumeration);
+
+void BM_PipelinePlanOnFragmentedCluster(benchmark::State& state) {
+  auto cluster = gpu::Cluster::Uniform(2, 8, gpu::DefaultPartition());
+  // Fragment: occupy all 4g slices.
+  for (SliceId sid : cluster.AllSlices()) {
+    if (cluster.slice(sid).profile() == gpu::MigProfile::k4g40gb) {
+      cluster.Bind(sid, InstanceId(1));
+    }
+  }
+  const auto dag = model::BuildApp(0, model::Variant::kMedium);
+  const auto ranked = core::EnumerateRankedPipelines(dag, 4);
+  model::TransferCostModel transfer;
+  for (auto _ : state) {
+    auto plan = core::PlanFirstFeasible(dag, ranked, cluster, transfer);
+    benchmark::DoNotOptimize(plan.has_value());
+  }
+}
+BENCHMARK(BM_PipelinePlanOnFragmentedCluster);
+
+void BM_PartitionEnumerationScalability(benchmark::State& state) {
+  // Beyond the paper's k <= 5: synthetic chains stress the exhaustive
+  // 2^(k-1) enumeration + CV ranking.
+  const int k = static_cast<int>(state.range(0));
+  model::SyntheticAppParams p;
+  p.components = k;
+  p.min_memory = GiB(1);
+  p.max_memory = GiB(4);
+  Rng rng(7);
+  const auto dag = model::SyntheticApp(p, rng);
+  for (auto _ : state) {
+    auto cands = core::EnumerateRankedPipelines(dag, k);
+    benchmark::DoNotOptimize(cands.size());
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_PartitionEnumerationScalability)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_EsgAStarSearch(benchmark::State& state) {
+  const auto dag = model::BuildApp(1, model::Variant::kMedium);
+  const std::vector<int> free = {14, 6, 0, 2, 0};
+  const SimDuration slo = 2 * dag.TotalLatencyOnGpcs(1);
+  const double demand = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto res = baselines::EsgSearch(dag, free, slo, demand);
+    benchmark::DoNotOptimize(res.has_value());
+  }
+}
+BENCHMARK(BM_EsgAStarSearch)->Arg(5)->Arg(20)->Arg(60);
+
+void BM_MaximalPartitionEnumeration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parts = gpu::EnumerateMaximalPartitions();
+    benchmark::DoNotOptimize(parts.size());
+  }
+}
+BENCHMARK(BM_MaximalPartitionEnumeration);
+
+void BM_SpscRingThroughput(benchmark::State& state) {
+  const std::size_t frame = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(frame);
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::SpscByteRing ring(1 << 22);
+    constexpr int kFrames = 4096;
+    state.ResumeTiming();
+    std::thread consumer([&] {
+      int n = 0;
+      while (n < kFrames) {
+        if (ring.Pop()) ++n;
+      }
+    });
+    for (int i = 0; i < kFrames; ++i) {
+      ring.Push(payload.data(), static_cast<std::uint32_t>(payload.size()));
+    }
+    consumer.join();
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<std::int64_t>(kFrames) *
+                                static_cast<std::int64_t>(frame));
+  }
+}
+BENCHMARK(BM_SpscRingThroughput)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace fluidfaas
+
+BENCHMARK_MAIN();

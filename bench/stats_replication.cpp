@@ -1,0 +1,40 @@
+// Seed-replication study (extension): the headline medium/heavy comparisons
+// re-run across independent trace seeds, reported as mean ± std — evidence
+// that the figures are not one lucky draw.
+#include "bench/bench_util.h"
+
+using namespace fluidfaas;
+
+int main() {
+  bench::Banner("Replication — headline metrics across 5 trace seeds",
+                "statistical robustness (extension beyond the paper)");
+  const int replicas = 5;
+  for (auto tier :
+       {trace::WorkloadTier::kMedium, trace::WorkloadTier::kHeavy}) {
+    metrics::Table table({"System", "thr mean", "thr std", "SLO mean",
+                          "SLO std", "P95 mean"});
+    double esg_thr = 0.0, fluid_thr = 0.0;
+    for (auto kind : {harness::SystemKind::kEsg,
+                      harness::SystemKind::kFluidFaas}) {
+      auto cfg = bench::PaperConfig(tier);
+      cfg.duration = bench::BenchDuration(100.0);
+      cfg.system = kind;
+      auto s = harness::RunReplicated(cfg, replicas);
+      table.AddRow({harness::Name(kind),
+                    metrics::Fmt(s.throughput_rps.mean(), 1),
+                    metrics::Fmt(s.throughput_rps.stddev(), 1),
+                    metrics::FmtPercent(s.slo_hit_rate.mean()),
+                    metrics::FmtPercent(s.slo_hit_rate.stddev()),
+                    metrics::Fmt(s.p95_latency_s.mean(), 1) + "s"});
+      (kind == harness::SystemKind::kEsg ? esg_thr : fluid_thr) =
+          s.throughput_rps.mean();
+    }
+    std::cout << "--- " << trace::Name(tier) << " workload (" << replicas
+              << " seeds) ---\n";
+    table.Print();
+    std::cout << "FluidFaaS vs ESG mean throughput: +"
+              << metrics::Fmt(100.0 * (fluid_thr / esg_thr - 1.0), 1)
+              << "%\n\n";
+  }
+  return 0;
+}

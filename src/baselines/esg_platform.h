@@ -1,0 +1,62 @@
+// ESG baseline platform (Hui et al., HPDC '24): the state-of-the-art
+// monolithic MIG scheduler this paper compares against.
+//
+// Structural properties reproduced from the paper's description:
+//   * a serverless function is a single unit — every instance occupies one
+//     MIG slice whose memory must hold the whole function (no pipelining);
+//   * scale-up chooses slice sets by A* search with dual-blade pruning,
+//     picking the most resource-efficient configuration that meets the SLO;
+//   * exclusive keep-alive — an idle instance holds its slice for the full
+//     keep-alive window, blocking other functions (the Fig. 5 behaviour);
+//   * deadline-aware routing to the least-loaded instance.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace fluidfaas::baselines {
+
+class EsgPlatform : public platform::Platform {
+ public:
+  EsgPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+              metrics::Recorder& recorder,
+              std::vector<platform::FunctionSpec> functions,
+              platform::PlatformConfig config);
+
+  std::string name() const override { return "ESG"; }
+
+  std::size_t searches() const { return searches_; }
+
+ protected:
+  bool Route(RequestId rid, FunctionId fn) override;
+  void AutoscaleTick() override;
+
+ private:
+  /// Free-slice counts per profile, cluster-wide.
+  std::vector<int> FreeCounts() const;
+
+  /// Launch monolithic instances per the A* result; returns #launched.
+  int ScaleUp(const platform::FunctionSpec& spec, double demand_rps);
+
+  std::size_t searches_ = 0;
+};
+
+/// INFless with MIG support (§6): the second monolithic baseline. Same
+/// exclusive keep-alive; placement is simple best-fit by memory (no
+/// SLO-aware search), routing is least-outstanding.
+class InflessPlatform : public platform::Platform {
+ public:
+  InflessPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                  metrics::Recorder& recorder,
+                  std::vector<platform::FunctionSpec> functions,
+                  platform::PlatformConfig config);
+
+  std::string name() const override { return "INFless"; }
+
+ protected:
+  bool Route(RequestId rid, FunctionId fn) override;
+  void AutoscaleTick() override;
+};
+
+}  // namespace fluidfaas::baselines

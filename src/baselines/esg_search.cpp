@@ -1,0 +1,153 @@
+#include "baselines/esg_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "common/error.h"
+
+namespace fluidfaas::baselines {
+
+std::vector<SliceOption> MakeSliceOptions(
+    const model::AppDag& dag, const std::vector<int>& free_per_profile,
+    SimDuration slo) {
+  FFS_CHECK(free_per_profile.size() == gpu::kAllProfiles.size());
+  const Bytes need = dag.TotalMemory();
+  std::vector<SliceOption> options;
+  for (std::size_t i = 0; i < gpu::kAllProfiles.size(); ++i) {
+    const gpu::MigProfile p = gpu::kAllProfiles[i];
+    if (free_per_profile[i] <= 0) continue;
+    if (gpu::MemBytes(p) < need) continue;  // OOM
+    SliceOption opt;
+    opt.profile = p;
+    opt.available = free_per_profile[i];
+    opt.exec_time = dag.TotalLatencyOnGpcs(gpu::Gpcs(p));
+    if (opt.exec_time > slo) continue;  // latency blade
+    options.push_back(opt);
+  }
+  return options;
+}
+
+namespace {
+
+struct Node {
+  std::vector<int> counts;  // instances chosen per option index
+  int gpcs = 0;
+  double capacity = 0.0;
+  double f = 0.0;  // gpcs + heuristic
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.f != b.f) return a.f > b.f;  // min-heap on f
+    return a.capacity < b.capacity;    // tie-break: more capacity first
+  }
+};
+
+}  // namespace
+
+std::optional<EsgSearchResult> EsgSearch(
+    const model::AppDag& dag, const std::vector<int>& free_per_profile,
+    SimDuration slo, double demand_rps) {
+  EsgSearchResult result;
+
+  std::vector<SliceOption> options = MakeSliceOptions(dag, free_per_profile,
+                                                      slo);
+  {
+    // Latency-blade accounting: memory-feasible types rejected on latency.
+    const Bytes need = dag.TotalMemory();
+    for (std::size_t i = 0; i < gpu::kAllProfiles.size(); ++i) {
+      const gpu::MigProfile p = gpu::kAllProfiles[i];
+      if (free_per_profile[i] <= 0 || gpu::MemBytes(p) < need) continue;
+      if (dag.TotalLatencyOnGpcs(gpu::Gpcs(p)) > slo) {
+        ++result.pruned_latency;
+      }
+    }
+  }
+  if (options.empty()) return std::nullopt;
+  if (demand_rps <= 0.0) {
+    // Degenerate demand: one instance on the cheapest feasible type.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < options.size(); ++i) {
+      if (gpu::Gpcs(options[i].profile) < gpu::Gpcs(options[best].profile)) {
+        best = i;
+      }
+    }
+    result.chosen.push_back(options[best].profile);
+    result.total_gpcs = gpu::Gpcs(options[best].profile);
+    result.capacity_rps = options[best].capacity_rps();
+    return result;
+  }
+
+  // Admissible heuristic: remaining demand at the best capacity-per-GPC
+  // rate achievable with any remaining option.
+  double best_rps_per_gpc = 0.0;
+  double max_total_capacity = 0.0;
+  for (const SliceOption& o : options) {
+    best_rps_per_gpc = std::max(
+        best_rps_per_gpc,
+        o.capacity_rps() / static_cast<double>(gpu::Gpcs(o.profile)));
+    max_total_capacity += o.capacity_rps() * o.available;
+  }
+  if (max_total_capacity < demand_rps) return std::nullopt;
+
+  auto heuristic = [&](double capacity) {
+    const double remaining = std::max(0.0, demand_rps - capacity);
+    return remaining / best_rps_per_gpc;
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  Node root;
+  root.counts.assign(options.size(), 0);
+  root.f = heuristic(0.0);
+  open.push(root);
+
+  // Dominance blade: Pareto front of expanded (gpcs, capacity) pairs.
+  // A node is pruned when some expanded node had <= gpcs and >= capacity.
+  std::vector<std::pair<int, double>> frontier;
+  auto dominated = [&](int gpcs, double capacity) {
+    for (const auto& [fg, fc] : frontier) {
+      if (fg <= gpcs && fc >= capacity) return true;
+    }
+    return false;
+  };
+
+  while (!open.empty()) {
+    Node node = open.top();
+    open.pop();
+    if (node.capacity >= demand_rps) {
+      for (std::size_t i = 0; i < options.size(); ++i) {
+        for (int k = 0; k < node.counts[i]; ++k) {
+          result.chosen.push_back(options[i].profile);
+        }
+      }
+      result.total_gpcs = node.gpcs;
+      result.capacity_rps = node.capacity;
+      return result;
+    }
+    if (dominated(node.gpcs, node.capacity)) {
+      ++result.pruned_dominance;
+      continue;
+    }
+    frontier.emplace_back(node.gpcs, node.capacity);
+    ++result.expanded;
+
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (node.counts[i] >= options[i].available) continue;
+      Node next = node;
+      next.counts[i] += 1;
+      next.gpcs += gpu::Gpcs(options[i].profile);
+      next.capacity += options[i].capacity_rps();
+      if (dominated(next.gpcs, next.capacity)) {
+        ++result.pruned_dominance;
+        continue;
+      }
+      next.f = static_cast<double>(next.gpcs) + heuristic(next.capacity);
+      open.push(next);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fluidfaas::baselines

@@ -1,0 +1,68 @@
+// ESG's scheduling core, reimplemented from its published description
+// (Hui et al., HPDC '24, as summarized in this paper's §3): an A* search
+// over MIG resource configurations with "dual-blade" pruning.
+//
+// The search answers the controller's scale-up question: which set of MIG
+// slices should host new (monolithic) instances of a function so that the
+// deployed capacity covers the demand, at minimum GPC cost, while every
+// chosen slice type can serve a request within its SLO.
+//
+// The two pruning blades:
+//   * latency blade  — slice types whose solo execution latency exceeds the
+//     SLO are removed from the action set up front (they can never satisfy
+//     a request even unqueued);
+//   * dominance blade — a partial configuration is discarded when an
+//     already-expanded configuration offers at least the capacity at no
+//     greater GPC cost (Pareto dominance on (capacity, cost)).
+//
+// With an admissible heuristic (remaining demand divided by the best
+// capacity-per-GPC among remaining slice types), the first goal popped is a
+// minimum-cost configuration.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/mig_profile.h"
+#include "model/app.h"
+
+namespace fluidfaas::baselines {
+
+/// One usable slice type for the function under search.
+struct SliceOption {
+  gpu::MigProfile profile;
+  int available = 0;          // free slices of this profile cluster-wide
+  SimDuration exec_time = 0;  // monolithic execution latency on it
+  double capacity_rps() const {
+    return exec_time > 0 ? 1e6 / static_cast<double>(exec_time) : 0.0;
+  }
+};
+
+struct EsgSearchResult {
+  /// Profiles to instantiate (one instance per entry).
+  std::vector<gpu::MigProfile> chosen;
+  int total_gpcs = 0;
+  double capacity_rps = 0.0;
+  /// Search-effort counters (exercised by tests and the micro bench).
+  std::size_t expanded = 0;
+  std::size_t pruned_dominance = 0;
+  std::size_t pruned_latency = 0;
+};
+
+/// Build the option list for `dag` from free slices in the counts map
+/// (profile -> free count), applying the latency blade against `slo` and
+/// the memory-fit requirement. Counter for pruned types is reported via
+/// `pruned_latency` on the result of EsgSearch.
+std::vector<SliceOption> MakeSliceOptions(
+    const model::AppDag& dag, const std::vector<int>& free_per_profile,
+    SimDuration slo);
+
+/// Find the minimum-GPC set of instances with capacity >= demand_rps.
+/// Returns nullopt when even using every available slice falls short —
+/// the caller then deploys the best effort (all feasible slices) or waits.
+std::optional<EsgSearchResult> EsgSearch(
+    const model::AppDag& dag, const std::vector<int>& free_per_profile,
+    SimDuration slo, double demand_rps);
+
+}  // namespace fluidfaas::baselines

@@ -1,0 +1,202 @@
+#include "baselines/repartition_platform.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/pipeline.h"
+
+namespace fluidfaas::baselines {
+
+using platform::Instance;
+
+namespace {
+
+/// Sentinel occupant that blocks a GPU's slices during reconfiguration.
+InstanceId ReconfigSentinel(GpuId gpu) {
+  return InstanceId(1'000'000 + gpu.value);
+}
+
+}  // namespace
+
+RepartitionPlatform::RepartitionPlatform(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config)
+    : Platform(sim, cluster, recorder, std::move(functions), config) {}
+
+gpu::MigPartition RepartitionPlatform::BestPartitionFor(Bytes needed_memory) {
+  const auto all = gpu::EnumerateMaximalPartitions();
+  const gpu::MigPartition* best = nullptr;
+  int best_fits = -1;
+  int best_gpcs = -1;
+  for (const gpu::MigPartition& p : all) {
+    int fits = 0;
+    for (const gpu::Placement& pl : p.placements()) {
+      if (gpu::MemBytes(pl.profile) >= needed_memory) ++fits;
+    }
+    if (fits > best_fits ||
+        (fits == best_fits && p.total_gpcs() > best_gpcs)) {
+      best = &p;
+      best_fits = fits;
+      best_gpcs = p.total_gpcs();
+    }
+  }
+  FFS_CHECK(best != nullptr);
+  return *best;
+}
+
+platform::Instance* RepartitionPlatform::TryLaunch(
+    const platform::FunctionSpec& spec) {
+  auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+  if (!sid) return nullptr;
+  auto plan = core::MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+  if (!plan) return nullptr;
+  return LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+}
+
+void RepartitionPlatform::ExecuteReconfig(GpuId gpu_id,
+                                          Bytes needed_memory) {
+  const gpu::MigPartition target = BestPartitionFor(needed_memory);
+  const std::vector<SliceId> fresh = cluster().RepartitionGpu(gpu_id, target);
+  recorder().SyncSlices(cluster());
+  // Block the fresh slices for the checkpoint/repartition/resume window.
+  const SimTime now = simulator().Now();
+  for (SliceId sid : fresh) {
+    cluster().Bind(sid, ReconfigSentinel(gpu_id));
+    recorder().SliceBound(sid, now);
+  }
+  const SimDuration cost = reconfig_.Cost(/*checkpointed_state=*/0);
+  blackout_total_ += cost;
+  ++reconfigurations_;
+  reconfiguring_.insert(gpu_id.value);
+  FFS_LOG_INFO("repartition")
+      << "GPU " << gpu_id.value << " -> " << target.ToString()
+      << ", blackout " << ToSeconds(cost) << "s";
+  simulator().After(cost, [this, gpu_id, fresh] {
+    const SimTime t = simulator().Now();
+    for (SliceId sid : fresh) {
+      cluster().Release(sid, ReconfigSentinel(gpu_id));
+      recorder().SliceReleased(sid, t);
+    }
+    reconfiguring_.erase(gpu_id.value);
+    DispatchPending();
+  });
+}
+
+bool RepartitionPlatform::TryReconfigure(const platform::FunctionSpec& spec) {
+  const gpu::MigPartition target = BestPartitionFor(spec.total_memory);
+
+  // Preferred path: a fully idle GPU swaps immediately.
+  for (const gpu::Gpu& g : cluster().gpus()) {
+    if (reconfiguring_.count(g.id().value)) continue;
+    if (!g.AllSlicesFree()) continue;
+    if (target.Profiles() == g.partition().Profiles()) continue;
+    ExecuteReconfig(g.id(), spec.total_memory);
+    return true;
+  }
+
+  // Otherwise drain one busy GPU and reconfigure it once it empties —
+  // sacrificing its current capacity on top of the blackout to come.
+  if (drain_targets_.size() + reconfiguring_.size() >= 2) return false;
+  for (const gpu::Gpu& g : cluster().gpus()) {
+    if (reconfiguring_.count(g.id().value)) continue;
+    if (target.Profiles() == g.partition().Profiles()) continue;
+    bool already_target = false;
+    for (const DrainTarget& t : drain_targets_) {
+      if (t.gpu == g.id()) already_target = true;
+    }
+    if (already_target) continue;
+    // Every occupant must be one of our (drainable) instances.
+    bool drainable = true;
+    for (const gpu::MigSlice& s : g.slices()) {
+      if (!s.free() && s.occupant.value >= 1'000'000) drainable = false;
+    }
+    if (!drainable) continue;
+
+    for (const platform::FunctionSpec& fn : functions()) {
+      for (platform::Instance* inst : InstancesOf(fn.id)) {
+        bool on_gpu = false;
+        for (const core::StageBinding& b : inst->plan().stages) {
+          if (cluster().slice(b.slice).gpu == g.id()) on_gpu = true;
+        }
+        if (on_gpu) DrainOrRetire(inst);
+      }
+    }
+    drain_targets_.push_back(DrainTarget{g.id(), spec.total_memory});
+    FFS_LOG_INFO("repartition")
+        << "draining GPU " << g.id().value << " for reconfiguration";
+    return true;
+  }
+  return false;
+}
+
+bool RepartitionPlatform::Route(RequestId rid, FunctionId fn) {
+  const platform::FunctionSpec& spec = function(fn);
+  const SimTime now = simulator().Now();
+  const SimTime deadline = recorder().record(rid).deadline;
+
+  std::vector<Instance*> insts = InstancesOf(fn);
+  if (insts.empty()) {
+    Instance* inst = TryLaunch(spec);
+    if (inst == nullptr) return false;  // tick may reconfigure
+    insts.push_back(inst);
+  }
+  Instance* best = nullptr;
+  SimTime best_est = kTimeInfinity;
+  for (Instance* inst : insts) {
+    if (!inst->CanAdmit()) continue;
+    const SimTime est = inst->EstimateCompletion(now);
+    if (est < best_est) {
+      best_est = est;
+      best = inst;
+    }
+  }
+  if (best == nullptr || !best->AdmitWithinBound(now, deadline, spec.slo)) {
+    return false;
+  }
+  best->Enqueue(rid, JitterOf(rid));
+  return true;
+}
+
+void RepartitionPlatform::AutoscaleTick() {
+  // Retire drained instances, then execute reconfigurations whose GPU has
+  // finally emptied.
+  for (const platform::FunctionSpec& spec : functions()) {
+    for (platform::Instance* inst : InstancesOf(spec.id)) {
+      if (inst->state() == platform::InstanceState::kDraining &&
+          inst->Idle()) {
+        RetireInstance(inst);
+      }
+    }
+  }
+  for (auto it = drain_targets_.begin(); it != drain_targets_.end();) {
+    const gpu::Gpu& g = cluster().gpu(it->gpu);
+    if (g.AllSlicesFree()) {
+      ExecuteReconfig(it->gpu, it->needed_memory);
+      it = drain_targets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (const platform::FunctionSpec& spec : functions()) {
+    const double rate = ArrivalRate(spec.id);
+    double capacity = 0.0;
+    for (Instance* inst : InstancesOf(spec.id)) {
+      if (inst->CanAdmit()) capacity += inst->CapacityRps();
+    }
+    int guard = 0;
+    while (rate > config().scaleup_load_factor * capacity && guard++ < 8) {
+      Instance* inst = TryLaunch(spec);
+      if (inst == nullptr) {
+        // Fragmented out: try to right the partition mix instead.
+        TryReconfigure(spec);
+        break;
+      }
+      capacity += inst->CapacityRps();
+    }
+  }
+  ExpireIdleInstances(config().exclusive_keepalive);
+}
+
+}  // namespace fluidfaas::baselines

@@ -1,0 +1,69 @@
+// The road-not-taken baseline: solve fragmentation by *repartitioning* GPUs
+// at runtime instead of pipelining around the fixed partition.
+//
+// The paper dismisses dynamic MIG reconfiguration because it takes minutes
+// (§2.2, citing Miso); this platform implements it anyway so the trade-off
+// is measurable. It schedules monolithically (best-fit, like INFless-MIG),
+// and when a function cannot be placed on any free slice while a fully idle
+// GPU exists, it reconfigures that GPU to the partition that best serves the
+// stranded demand — paying the ReconfigCostModel blackout, during which the
+// GPU's fresh slices are held by a sentinel binding.
+//
+// bench/ablation_reconfig.cpp races it against FluidFaaS: reconfiguration
+// eventually rights the partition mix, but every correction costs minutes of
+// capacity, which is exactly why FluidFaaS pipelines instead.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace fluidfaas::baselines {
+
+class RepartitionPlatform : public platform::Platform {
+ public:
+  RepartitionPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                      metrics::Recorder& recorder,
+                      std::vector<platform::FunctionSpec> functions,
+                      platform::PlatformConfig config);
+
+  std::string name() const override { return "Repartition"; }
+
+  std::size_t reconfigurations() const { return reconfigurations_; }
+  SimDuration reconfiguration_blackout() const { return blackout_total_; }
+
+  /// Pick the maximal A100 partition that best hosts a monolithic demand of
+  /// `needed_memory`: most slices that fit it, then most total GPCs.
+  /// Exposed for tests.
+  static gpu::MigPartition BestPartitionFor(Bytes needed_memory);
+
+ protected:
+  bool Route(RequestId rid, FunctionId fn) override;
+  void AutoscaleTick() override;
+
+ private:
+  /// Launch one best-fit monolithic instance if possible.
+  platform::Instance* TryLaunch(const platform::FunctionSpec& spec);
+
+  /// Begin reconfiguring for `spec`'s demand: use a fully idle GPU when one
+  /// exists, otherwise pick a GPU whose instances can be drained and
+  /// reconfigure it once it empties. Returns false when nothing can even be
+  /// scheduled.
+  bool TryReconfigure(const platform::FunctionSpec& spec);
+
+  /// Execute the partition swap on an already-free GPU (blackout included).
+  void ExecuteReconfig(GpuId gpu, Bytes needed_memory);
+
+  gpu::ReconfigCostModel reconfig_;
+  std::unordered_set<std::int32_t> reconfiguring_;  // GpuId values
+  struct DrainTarget {
+    GpuId gpu;
+    Bytes needed_memory;
+  };
+  std::vector<DrainTarget> drain_targets_;
+  std::size_t reconfigurations_ = 0;
+  SimDuration blackout_total_ = 0;
+};
+
+}  // namespace fluidfaas::baselines

@@ -1,0 +1,44 @@
+// Error handling helpers: checked assertions that survive release builds at
+// subsystem boundaries, and an exception type carrying formatted context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fluidfaas {
+
+/// Thrown on violated preconditions / invariants in library code. Simulation
+/// code prefers throwing over aborting so tests can assert on failures.
+class FfsError : public std::runtime_error {
+ public:
+  explicit FfsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void RaiseCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FFS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw FfsError(os.str());
+}
+}  // namespace detail
+
+}  // namespace fluidfaas
+
+/// Always-on invariant check (throws FfsError). Use at module boundaries and
+/// for invariants whose violation would silently corrupt results.
+#define FFS_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::fluidfaas::detail::RaiseCheckFailure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                  \
+  } while (0)
+
+#define FFS_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::fluidfaas::detail::RaiseCheckFailure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (0)

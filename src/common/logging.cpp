@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+namespace fluidfaas {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?    ";
+  }
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* tag)
+    : enabled_(level >= g_level && g_level != LogLevel::kOff) {
+  if (enabled_) {
+    os_ << "[" << LevelName(level) << "][" << tag << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    os_ << '\n';
+    std::cerr << os_.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace fluidfaas

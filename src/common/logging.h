@@ -1,0 +1,45 @@
+// Minimal leveled logger. Simulation components log placement / eviction /
+// migration decisions at Debug level; benches run at Warn to keep output
+// parseable.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fluidfaas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold. Not thread-safe to mutate while worker
+/// threads are logging; set it once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace fluidfaas
+
+#define FFS_LOG_DEBUG(tag) ::fluidfaas::detail::LogLine(::fluidfaas::LogLevel::kDebug, tag)
+#define FFS_LOG_INFO(tag) ::fluidfaas::detail::LogLine(::fluidfaas::LogLevel::kInfo, tag)
+#define FFS_LOG_WARN(tag) ::fluidfaas::detail::LogLine(::fluidfaas::LogLevel::kWarn, tag)
+#define FFS_LOG_ERROR(tag) ::fluidfaas::detail::LogLine(::fluidfaas::LogLevel::kError, tag)

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Reproducibility is a hard requirement (every figure in EXPERIMENTS.md must
+// regenerate bit-identically), so all stochastic behaviour flows through
+// explicitly seeded generators rather than std::random_device.
+//
+// Rng implements xoshiro256** (Blackman & Vigna) seeded via splitmix64. It
+// satisfies the UniformRandomBitGenerator concept, but the distribution
+// helpers below are hand-rolled so that results do not depend on the standard
+// library's (implementation-defined) distribution algorithms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fluidfaas {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return Next(); }
+  std::uint64_t Next();
+
+  /// Derive an independent child stream; used to give each simulated
+  /// function / arrival process its own stream so adding one does not
+  /// perturb the others.
+  Rng Fork();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given rate (events per unit); mean = 1/rate.
+  double Exponential(double rate);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double Normal(double mean, double stddev);
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed rates).
+  double Pareto(double xm, double alpha);
+
+  /// Bernoulli trial.
+  bool Chance(double p);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace fluidfaas

@@ -1,0 +1,342 @@
+#include "core/ffs_distributed.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/partitioner.h"
+#include "core/pipeline.h"
+
+namespace fluidfaas::core {
+
+using platform::Instance;
+using platform::InstanceState;
+
+DistributedFluidFaas::DistributedFluidFaas(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config)
+    : Platform(sim, cluster, recorder, std::move(functions), config) {
+  invokers_.resize(static_cast<std::size_t>(cluster.num_nodes()));
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    invokers_[static_cast<std::size_t>(n)].node = NodeId(n);
+    invokers_[static_cast<std::size_t>(n)].per_fn.resize(
+        this->functions().size());
+  }
+}
+
+DistributedFluidFaas::FnState& DistributedFluidFaas::state(Invoker& inv,
+                                                           FunctionId fn) {
+  FFS_CHECK(fn.valid() &&
+            static_cast<std::size_t>(fn.value) < inv.per_fn.size());
+  return inv.per_fn[static_cast<std::size_t>(fn.value)];
+}
+
+void DistributedFluidFaas::PruneDead(FnState& st) {
+  std::erase_if(st.eh, [](Instance* i) {
+    return i->state() == InstanceState::kRetired ||
+           i->state() == InstanceState::kDraining;
+  });
+  if (st.ts != nullptr && st.ts->state() == InstanceState::kRetired) {
+    st.ts = nullptr;
+  }
+}
+
+std::vector<std::size_t> DistributedFluidFaas::RoutedPerInvoker() const {
+  std::vector<std::size_t> out;
+  for (const Invoker& inv : invokers_) out.push_back(inv.routed);
+  return out;
+}
+
+int DistributedFluidFaas::ChooseInvoker(FunctionId fn, SimTime now) {
+  // Prefer the invoker whose live instances of `fn` promise the earliest
+  // completion (request affinity keeps models warm); break ties — and the
+  // no-instances case — with the invoker holding the most free GPCs.
+  int best = -1;
+  SimTime best_est = kTimeInfinity;
+  for (std::size_t i = 0; i < invokers_.size(); ++i) {
+    FnState& st = state(invokers_[i], fn);
+    PruneDead(st);
+    for (Instance* inst : st.eh) {
+      if (inst->CanAdmit()) {
+        best_est = std::min(best_est, inst->EstimateCompletion(now));
+        if (best_est == inst->EstimateCompletion(now)) {
+          best = static_cast<int>(i);
+        }
+      }
+    }
+    if (st.ts != nullptr && st.ts->CanAdmit() &&
+        st.ts->EstimateCompletion(now) < best_est) {
+      best_est = st.ts->EstimateCompletion(now);
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) return best;
+
+  int most_free = 0;
+  int free_gpcs = -1;
+  for (std::size_t i = 0; i < invokers_.size(); ++i) {
+    int g = 0;
+    for (SliceId sid : cluster().FreeSlicesOnNode(invokers_[i].node)) {
+      g += cluster().slice(sid).gpcs();
+    }
+    if (g > free_gpcs) {
+      free_gpcs = g;
+      most_free = static_cast<int>(i);
+    }
+  }
+  return most_free;
+}
+
+platform::Instance* DistributedFluidFaas::LaunchExclusiveOn(
+    Invoker& inv, const platform::FunctionSpec& spec) {
+  std::optional<PipelinePlan> plan;
+  if (config().enable_pipelines) {
+    for (const PipelineCandidate& cand : spec.ranked_pipelines) {
+      plan = TryPlanOnNode(spec.dag, cand, cluster(), inv.node,
+                           config().transfer);
+      if (plan) break;
+    }
+  } else {
+    for (SliceId sid : cluster().FreeSlicesOnNode(inv.node)) {
+      if (cluster().slice(sid).memory() < spec.total_memory) continue;
+      plan = MonolithicPlanOnSlice(spec.dag, cluster(), sid);
+      if (plan) break;
+    }
+  }
+  if (!plan) return nullptr;
+  if (plan->num_stages() > 1) ++pipelines_launched_;
+  Instance* inst = LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+  state(inv, spec.id).eh.push_back(inst);
+  return inst;
+}
+
+platform::Instance* DistributedFluidFaas::EnsureTsResidentOn(Invoker& inv,
+                                                             FunctionId fn) {
+  FnState& st = state(inv, fn);
+  FFS_CHECK(st.ts == nullptr);
+  const platform::FunctionSpec& spec = function(fn);
+
+  // Smallest free slice on this node.
+  std::optional<SliceId> sid;
+  for (SliceId cand : cluster().FreeSlicesOnNode(inv.node)) {
+    const auto& s = cluster().slice(cand);
+    if (s.memory() < spec.total_memory) continue;
+    if (!sid || cluster().slice(*sid).gpcs() > s.gpcs()) sid = cand;
+  }
+  SimDuration evict_cost = 0;
+  if (!sid) {
+    // LRU idle resident TS instance on THIS invoker.
+    FunctionId victim;
+    SimTime oldest = kTimeInfinity;
+    for (std::size_t f = 0; f < inv.per_fn.size(); ++f) {
+      FnState& other = inv.per_fn[f];
+      if (other.ts == nullptr || !other.ts->Idle()) continue;
+      if (FunctionId(static_cast<std::int32_t>(f)) == fn) continue;
+      const auto& b = other.ts->plan().stages.front();
+      if (cluster().slice(b.slice).memory() < spec.total_memory) continue;
+      if (other.ts->last_used() < oldest) {
+        oldest = other.ts->last_used();
+        victim = FunctionId(static_cast<std::int32_t>(f));
+      }
+    }
+    if (!victim.valid()) return nullptr;
+    FnState& vic = state(inv, victim);
+    const SliceId freed = vic.ts->plan().stages.front().slice;
+    evict_cost = config().load.Evict(vic.ts->plan().TotalWeights());
+    RetireInstance(vic.ts);
+    vic.ts = nullptr;
+    ++evictions_;
+    sid = freed;
+  }
+  auto plan = MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+  if (!plan) return nullptr;
+  Instance* inst =
+      LaunchInstance(spec, std::move(*plan), IsWarm(fn), evict_cost);
+  st.ts = inst;
+  st.has_ts = true;
+  st.ts_last_used = simulator().Now();
+  return inst;
+}
+
+bool DistributedFluidFaas::RouteOn(Invoker& inv, RequestId rid,
+                                   FunctionId fn) {
+  FnState& st = state(inv, fn);
+  PruneDead(st);
+  const platform::FunctionSpec& spec = function(fn);
+  const SimTime now = simulator().Now();
+  const SimTime deadline = recorder().record(rid).deadline;
+
+  std::vector<Instance*> hot;
+  for (Instance* inst : st.eh) {
+    if (inst->CanAdmit()) hot.push_back(inst);
+  }
+  std::sort(hot.begin(), hot.end(), [](Instance* a, Instance* b) {
+    if (a->ServiceLatency() != b->ServiceLatency())
+      return a->ServiceLatency() < b->ServiceLatency();
+    return a->id() < b->id();
+  });
+  for (Instance* inst : hot) {
+    if (inst->EstimateCompletion(now) <= deadline) {
+      inst->Enqueue(rid, JitterOf(rid));
+      st.ts_last_used = now;
+      return true;
+    }
+  }
+  if (config().enable_time_sharing) {
+    if (st.ts != nullptr && st.ts->CanAdmit()) {
+      if (st.ts->EstimateCompletion(now) <= deadline || hot.empty()) {
+        st.ts->Enqueue(rid, JitterOf(rid));
+        st.ts_last_used = now;
+        return true;
+      }
+    } else if (st.ts == nullptr) {
+      Instance* inst = EnsureTsResidentOn(inv, fn);
+      if (inst != nullptr) {
+        inst->Enqueue(rid, JitterOf(rid));
+        st.ts_last_used = now;
+        return true;
+      }
+    }
+  } else if (hot.empty()) {
+    Instance* inst = LaunchExclusiveOn(inv, spec);
+    if (inst != nullptr) {
+      inst->Enqueue(rid, JitterOf(rid));
+      return true;
+    }
+  }
+  Instance* best = nullptr;
+  SimTime best_est = kTimeInfinity;
+  for (Instance* inst : st.eh) {
+    if (!inst->CanAdmit()) continue;
+    const SimTime est = inst->EstimateCompletion(now);
+    if (est < best_est) {
+      best_est = est;
+      best = inst;
+    }
+  }
+  if (st.ts != nullptr && st.ts->CanAdmit() &&
+      st.ts->EstimateCompletion(now) < best_est) {
+    best = st.ts;
+  }
+  if (best != nullptr && best->AdmitWithinBound(now, deadline, spec.slo)) {
+    best->Enqueue(rid, JitterOf(rid));
+    st.ts_last_used = now;
+    return true;
+  }
+  return false;
+}
+
+bool DistributedFluidFaas::Route(RequestId rid, FunctionId fn) {
+  const SimTime now = simulator().Now();
+  const int chosen = ChooseInvoker(fn, now);
+  Invoker& inv = invoker(chosen);
+  state(inv, fn).arrivals_this_tick += 1;
+  if (RouteOn(inv, rid, fn)) {
+    inv.routed += 1;
+    return true;
+  }
+  // Spillover: any other invoker that will take it.
+  for (std::size_t i = 0; i < invokers_.size(); ++i) {
+    if (static_cast<int>(i) == chosen) continue;
+    if (RouteOn(invokers_[i], rid, fn)) {
+      invokers_[i].routed += 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DistributedFluidFaas::OnCompleted(RequestId, FunctionId fn) {
+  const SimTime now = simulator().Now();
+  for (Invoker& inv : invokers_) {
+    state(inv, fn).ts_last_used =
+        std::max(state(inv, fn).ts_last_used, now);
+    for (Instance* inst : InstancesOf(fn)) {
+      if (inst->state() == InstanceState::kDraining && inst->Idle()) {
+        RetireInstance(inst);
+      }
+    }
+  }
+}
+
+void DistributedFluidFaas::AutoscaleTick() {
+  const SimTime now = simulator().Now();
+  const double period_s = ToSeconds(config().autoscale_period);
+
+  for (Invoker& inv : invokers_) {
+    for (std::size_t f = 0; f < inv.per_fn.size(); ++f) {
+      const FunctionId fn(static_cast<std::int32_t>(f));
+      FnState& st = inv.per_fn[f];
+      PruneDead(st);
+      const platform::FunctionSpec& spec = function(fn);
+
+      // Invoker-local arrival estimate.
+      st.arrival_ewma =
+          0.5 * st.arrival_ewma + 0.5 * (st.arrivals_this_tick / period_s);
+      if (st.arrival_ewma < 1e-6) st.arrival_ewma = 0.0;
+      st.arrivals_this_tick = 0;
+
+      // Promotion (re-branding, as in the centralized scheduler).
+      if (st.ts != nullptr &&
+          UtilizationOf(st.ts) > config().hot_threshold) {
+        st.eh.push_back(st.ts);
+        st.ts = nullptr;
+        st.has_ts = false;
+      }
+
+      // Local scale-up.
+      double capacity = 0.0;
+      for (Instance* inst : st.eh) {
+        if (inst->CanAdmit()) capacity += inst->CapacityRps();
+      }
+      int guard = 0;
+      while (st.arrival_ewma > config().scaleup_load_factor * capacity &&
+             guard++ < 8) {
+        Instance* inst = LaunchExclusiveOn(inv, spec);
+        if (inst == nullptr) break;
+        capacity += inst->CapacityRps();
+      }
+
+      // Scale-down / demotion.
+      for (Instance* inst : std::vector<Instance*>(st.eh)) {
+        if (inst->state() != InstanceState::kReady || !inst->Idle()) continue;
+        if (now - inst->last_used() < config().util_window) continue;
+        if (UtilizationOf(inst) >= config().hot_threshold) continue;
+        if (config().enable_time_sharing && !st.has_ts &&
+            st.eh.size() == 1 && !inst->IsPipelined()) {
+          std::erase(st.eh, inst);
+          st.ts = inst;
+          st.has_ts = true;
+          st.ts_last_used = inst->last_used();
+        } else if (st.eh.size() > 1 ||
+                   (config().enable_time_sharing && st.has_ts) ||
+                   inst->IsPipelined()) {
+          std::erase(st.eh, inst);
+          RetireInstance(inst);
+          if (config().enable_time_sharing && !st.has_ts &&
+              st.eh.empty()) {
+            st.has_ts = true;  // warm entry
+            st.ts_last_used = inst->last_used();
+          }
+        } else if (!config().enable_time_sharing &&
+                   now - inst->last_used() >=
+                       config().exclusive_keepalive) {
+          std::erase(st.eh, inst);
+          RetireInstance(inst);
+        }
+      }
+
+      // Cold transition.
+      if (st.has_ts && now - st.ts_last_used > config().warm_timeout) {
+        if (st.ts != nullptr && st.ts->Idle()) {
+          RetireInstance(st.ts);
+          st.ts = nullptr;
+        }
+        if (st.ts == nullptr) st.has_ts = false;
+      }
+    }
+  }
+}
+
+}  // namespace fluidfaas::core

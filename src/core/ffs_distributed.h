@@ -1,0 +1,81 @@
+// Decentralized FluidFaaS: the paper's two-level architecture (Figs. 2/6).
+//
+// §5.2.2 places the pipeline-construction runtime *on each invoker*, "where
+// it functions as a local scheduler ... This decentralized approach allows
+// the scheduler to efficiently build pipelines and allocate resources,
+// adapting to the invoker's current conditions", with the central
+// controller left unmodified. FluidFaasPlatform models that logically (its
+// planner already confines a pipeline to one node); this class models it
+// *structurally*: one invoker per node, each owning only its node's
+// instances and free slices, with a front load balancer that picks an
+// invoker per request and per-invoker autoscaling driven by each invoker's
+// own observed arrivals.
+//
+// The bench `ablation_decentralized` compares the two: they should deliver
+// similar quality on balanced clusters, with the decentralized form paying
+// a small penalty when one node's fragments could have served another
+// node's overflow.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace fluidfaas::core {
+
+class DistributedFluidFaas : public platform::Platform {
+ public:
+  DistributedFluidFaas(sim::Simulator& sim, gpu::Cluster& cluster,
+                       metrics::Recorder& recorder,
+                       std::vector<platform::FunctionSpec> functions,
+                       platform::PlatformConfig config);
+
+  std::string name() const override { return "FluidFaaS-dist"; }
+
+  int num_invokers() const { return static_cast<int>(invokers_.size()); }
+  std::size_t pipelines_launched() const { return pipelines_launched_; }
+  std::size_t evictions() const { return evictions_; }
+  /// Requests the load balancer sent to each invoker.
+  std::vector<std::size_t> RoutedPerInvoker() const;
+
+ protected:
+  bool Route(RequestId rid, FunctionId fn) override;
+  void AutoscaleTick() override;
+  void OnCompleted(RequestId rid, FunctionId fn) override;
+
+ private:
+  struct FnState {
+    std::vector<platform::Instance*> eh;
+    platform::Instance* ts = nullptr;
+    bool has_ts = false;
+    SimTime ts_last_used = 0;
+    double arrival_ewma = 0.0;  // invoker-local rate estimate (req/s)
+    int arrivals_this_tick = 0;
+  };
+  struct Invoker {
+    NodeId node;
+    std::vector<FnState> per_fn;
+    std::size_t routed = 0;
+  };
+
+  Invoker& invoker(int idx) { return invokers_[static_cast<std::size_t>(idx)]; }
+  FnState& state(Invoker& inv, FunctionId fn);
+
+  /// The FFS load balancer: pick the invoker for a request — the one whose
+  /// instances of `fn` promise the earliest completion, else the one with
+  /// the most free capacity.
+  int ChooseInvoker(FunctionId fn, SimTime now);
+
+  /// Local (per-invoker) versions of the centralized scheduler's moves.
+  platform::Instance* LaunchExclusiveOn(Invoker& inv,
+                                        const platform::FunctionSpec& spec);
+  platform::Instance* EnsureTsResidentOn(Invoker& inv, FunctionId fn);
+  bool RouteOn(Invoker& inv, RequestId rid, FunctionId fn);
+  void PruneDead(FnState& st);
+
+  std::vector<Invoker> invokers_;
+  std::size_t pipelines_launched_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace fluidfaas::core

@@ -1,0 +1,37 @@
+#include "core/ffs_function.h"
+
+#include "common/error.h"
+
+namespace fluidfaas::core {
+
+const FfsValue FfsFunctionBuilder::kInput{-1};
+
+FfsValue FfsModule::reg(FfsFunctionBuilder& builder,
+                        const std::vector<FfsValue>& inputs,
+                        double exec_probability) const {
+  model::ComponentSpec spec = spec_;
+  spec.exec_probability = exec_probability;
+  return builder.Register(std::move(spec), inputs);
+}
+
+FfsValue FfsFunctionBuilder::Register(model::ComponentSpec spec,
+                                      const std::vector<FfsValue>& inputs) {
+  FFS_CHECK_MSG(!inputs.empty(),
+                "module must consume the function input or another module");
+  const int idx = static_cast<int>(components_.size());
+  for (const FfsValue& v : inputs) {
+    FFS_CHECK_MSG(v.node >= -1 && v.node < idx,
+                  "input handle does not refer to an earlier registration");
+    edges_.push_back(model::DagEdge{v.node, idx});
+  }
+  spec.id = ComponentId(idx);
+  components_.push_back(std::move(spec));
+  return FfsValue{idx};
+}
+
+model::AppDag FfsFunctionBuilder::Build() && {
+  return model::AppDag(std::move(name_), std::move(components_),
+                       std::move(edges_));
+}
+
+}  // namespace fluidfaas::core

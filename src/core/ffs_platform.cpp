@@ -1,0 +1,330 @@
+#include "core/ffs_platform.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/pipeline.h"
+
+namespace fluidfaas::core {
+
+using platform::Instance;
+using platform::InstanceState;
+
+FluidFaasPlatform::FluidFaasPlatform(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config)
+    : Platform(sim, cluster, recorder, std::move(functions), config) {
+  fn_state_.resize(this->functions().size());
+}
+
+FluidFaasPlatform::FnState& FluidFaasPlatform::state(FunctionId fn) {
+  FFS_CHECK(fn.valid() &&
+            static_cast<std::size_t>(fn.value) < fn_state_.size());
+  return fn_state_[static_cast<std::size_t>(fn.value)];
+}
+
+int FluidFaasPlatform::NumExclusiveHot(FunctionId fn) const {
+  return static_cast<int>(
+      const_cast<FluidFaasPlatform*>(this)->state(fn).eh.size());
+}
+
+bool FluidFaasPlatform::HasTimeSharingInstance(FunctionId fn) const {
+  return const_cast<FluidFaasPlatform*>(this)->state(fn).has_ts;
+}
+
+bool FluidFaasPlatform::TimeSharingResident(FunctionId fn) const {
+  return const_cast<FluidFaasPlatform*>(this)->state(fn).ts != nullptr;
+}
+
+void FluidFaasPlatform::PruneDead(FnState& st) {
+  std::erase_if(st.eh, [](Instance* i) {
+    return i->state() == InstanceState::kRetired ||
+           i->state() == InstanceState::kDraining;
+  });
+  if (st.ts != nullptr && st.ts->state() == InstanceState::kRetired) {
+    st.ts = nullptr;
+  }
+}
+
+double FluidFaasPlatform::EhCapacity(const FnState& st) const {
+  double c = 0.0;
+  for (Instance* inst : st.eh) {
+    if (inst->CanAdmit()) c += inst->CapacityRps();
+  }
+  return c;
+}
+
+platform::Instance* FluidFaasPlatform::EnsureTsResident(FunctionId fn) {
+  FnState& st = state(fn);
+  FFS_CHECK(st.ts == nullptr);
+  const platform::FunctionSpec& spec = function(fn);
+
+  auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+  SimDuration evict_cost = 0;
+
+  if (!sid) {
+    // Evict the least-recently-used idle resident time-sharing instance of
+    // another function whose slice is large enough (§5.3).
+    FunctionId victim_fn;
+    SimTime oldest = kTimeInfinity;
+    for (std::size_t i = 0; i < fn_state_.size(); ++i) {
+      FnState& other = fn_state_[i];
+      if (other.ts == nullptr || !other.ts->Idle()) continue;
+      if (FunctionId(static_cast<std::int32_t>(i)) == fn) continue;
+      const core::StageBinding& b = other.ts->plan().stages.front();
+      if (cluster().slice(b.slice).memory() < spec.total_memory) continue;
+      if (other.ts->last_used() < oldest) {
+        oldest = other.ts->last_used();
+        victim_fn = FunctionId(static_cast<std::int32_t>(i));
+      }
+    }
+    if (!victim_fn.valid()) return nullptr;
+
+    FnState& vic = state(victim_fn);
+    const SliceId freed = vic.ts->plan().stages.front().slice;
+    evict_cost = config().load.Evict(vic.ts->plan().TotalWeights());
+    RetireInstance(vic.ts);  // idle by construction; frees the slice
+    vic.ts = nullptr;        // entry stays warm (TouchWarm in retire)
+    ++evictions_;
+    FFS_LOG_DEBUG("ffs") << "evicted TS instance of fn " << victim_fn.value
+                         << " from slice " << freed.value << " for fn "
+                         << fn.value;
+    sid = freed;
+  }
+
+  auto plan = MonolithicPlanOnSlice(function(fn).dag, cluster(), *sid);
+  if (!plan) return nullptr;  // cannot happen given the memory checks
+  Instance* inst = LaunchInstance(spec, std::move(*plan), IsWarm(fn),
+                                  evict_cost);
+  st.ts = inst;
+  st.has_ts = true;
+  st.ts_last_used = simulator().Now();
+  return inst;
+}
+
+platform::Instance* FluidFaasPlatform::LaunchExclusive(
+    const platform::FunctionSpec& spec) {
+  std::optional<PipelinePlan> plan;
+  if (config().enable_pipelines) {
+    plan = PlanFirstFeasible(spec.dag, spec.ranked_pipelines, cluster(),
+                             config().transfer);
+  } else {
+    // Ablation: monolithic-only placement.
+    auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+    if (sid) plan = MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+  }
+  if (!plan) return nullptr;
+  if (plan->num_stages() > 1) ++pipelines_launched_;
+  Instance* inst = LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+  state(spec.id).eh.push_back(inst);
+  return inst;
+}
+
+bool FluidFaasPlatform::Route(RequestId rid, FunctionId fn) {
+  FnState& st = state(fn);
+  PruneDead(st);
+  const platform::FunctionSpec& spec = function(fn);
+  const SimTime now = simulator().Now();
+  const SimTime deadline = recorder().record(rid).deadline;
+
+  // 1. Exclusive-hot instances, lowest service latency first, while their
+  //    backlog still meets the deadline (§5.3 request routing).
+  std::vector<Instance*> hot;
+  for (Instance* inst : st.eh) {
+    if (inst->CanAdmit()) hot.push_back(inst);
+  }
+  std::sort(hot.begin(), hot.end(), [](Instance* a, Instance* b) {
+    if (a->ServiceLatency() != b->ServiceLatency())
+      return a->ServiceLatency() < b->ServiceLatency();
+    return a->id() < b->id();
+  });
+  for (Instance* inst : hot) {
+    if (inst->EstimateCompletion(now) <= deadline) {
+      inst->Enqueue(rid, JitterOf(rid));
+      st.ts_last_used = now;
+      return true;
+    }
+  }
+
+  // 2. The time-sharing instance (§5.3: "the remaining requests are routed
+  //    to the time sharing state instance").
+  if (config().enable_time_sharing) {
+    if (st.ts != nullptr && st.ts->CanAdmit()) {
+      if (st.ts->EstimateCompletion(now) <= deadline || hot.empty()) {
+        st.ts->Enqueue(rid, JitterOf(rid));
+        st.ts_last_used = now;
+        return true;
+      }
+    } else if (st.ts == nullptr) {
+      Instance* inst = EnsureTsResident(fn);
+      if (inst != nullptr) {
+        inst->Enqueue(rid, JitterOf(rid));
+        st.ts_last_used = now;
+        return true;
+      }
+    }
+  } else if (hot.empty()) {
+    // Ablation path without time sharing: first request must still create
+    // an instance; use an exclusive one.
+    Instance* inst = LaunchExclusive(spec);
+    if (inst != nullptr) {
+      inst->Enqueue(rid, JitterOf(rid));
+      return true;
+    }
+  }
+
+  // 3. Fallback: the least-loaded admitting instance (request will likely
+  //    miss its SLO, but progress beats starvation).
+  Instance* best = nullptr;
+  SimTime best_est = kTimeInfinity;
+  for (Instance* inst : st.eh) {
+    if (!inst->CanAdmit()) continue;
+    const SimTime est = inst->EstimateCompletion(now);
+    if (est < best_est) {
+      best_est = est;
+      best = inst;
+    }
+  }
+  if (st.ts != nullptr && st.ts->CanAdmit() &&
+      st.ts->EstimateCompletion(now) < best_est) {
+    best = st.ts;
+  }
+  // Bound per-instance backlog (see Instance::AdmitWithinBound) so overload
+  // stays in the EDF-ordered pending set instead of FIFO queues.
+  if (best != nullptr && best->AdmitWithinBound(now, deadline, spec.slo)) {
+    best->Enqueue(rid, JitterOf(rid));
+    st.ts_last_used = now;
+    return true;
+  }
+  return false;
+}
+
+void FluidFaasPlatform::RetireDrainedIdle() {
+  for (FunctionId fn(0); static_cast<std::size_t>(fn.value) < fn_state_.size();
+       fn = FunctionId(fn.value + 1)) {
+    for (Instance* inst : InstancesOf(fn)) {
+      if (inst->state() == InstanceState::kDraining && inst->Idle()) {
+        RetireInstance(inst);
+      }
+    }
+  }
+}
+
+void FluidFaasPlatform::OnCompleted(RequestId, FunctionId fn) {
+  FnState& st = state(fn);
+  st.ts_last_used = simulator().Now();
+  RetireDrainedIdle();
+}
+
+void FluidFaasPlatform::AutoscaleTick() {
+  const SimTime now = simulator().Now();
+  RetireDrainedIdle();
+
+  for (std::size_t i = 0; i < fn_state_.size(); ++i) {
+    const FunctionId fn(static_cast<std::int32_t>(i));
+    FnState& st = state(fn);
+    PruneDead(st);
+    const platform::FunctionSpec& spec = function(fn);
+    const double rate = ArrivalRate(fn);
+
+    // --- promotion: time-sharing -> exclusive-hot (Fig. 8 ②) -------------
+    // The resident instance changes *state*, not placement: it already has
+    // the slice to itself, promotion just makes it non-evictable.
+    if (st.ts != nullptr) {
+      const double util = UtilizationOf(st.ts);
+      if (util > config().hot_threshold) {
+        st.eh.push_back(st.ts);
+        st.ts = nullptr;
+        st.has_ts = false;
+        ++promotions_;
+        FFS_LOG_DEBUG("ffs") << "promoted fn " << fn.value
+                             << " to exclusive-hot (util " << util << ")";
+      }
+    }
+
+    // --- scale-up: add exclusive capacity while overloaded ---------------
+    double capacity = EhCapacity(st);
+    int guard = 0;
+    while (rate > config().scaleup_load_factor * capacity && guard++ < 8) {
+      Instance* eh = LaunchExclusive(spec);
+      if (eh == nullptr) break;
+      capacity += eh->CapacityRps();
+    }
+
+    // --- scale-down: exclusive-hot -> time sharing (Fig. 8 ③) ------------
+    // Consider only Ready+idle instances that have been quiet for a window.
+    for (Instance* inst : std::vector<Instance*>(st.eh)) {
+      if (inst->state() != InstanceState::kReady || !inst->Idle()) continue;
+      if (now - inst->last_used() < config().util_window) continue;
+      const double util = UtilizationOf(inst);
+      if (util >= config().hot_threshold) continue;
+      if (config().enable_time_sharing && !st.has_ts && st.eh.size() == 1) {
+        // Demote the last exclusive instance into the time-sharing state:
+        // it keeps serving from its slice but becomes evictable. Pipelined
+        // instances cannot be time-shared; retire them to warm instead.
+        std::erase(st.eh, inst);
+        if (!inst->IsPipelined()) {
+          st.ts = inst;
+          st.has_ts = true;
+          st.ts_last_used = inst->last_used();
+        } else {
+          RetireInstance(inst);
+          st.has_ts = true;  // warm entry, resident on next request
+          st.ts = nullptr;
+          st.ts_last_used = inst->last_used();
+        }
+        ++demotions_;
+      } else if (st.eh.size() > 1 ||
+                 (config().enable_time_sharing && st.has_ts)) {
+        // Surplus exclusive capacity: the remaining instances (or the
+        // time-sharing entry) cover the residual load; release the slices.
+        std::erase(st.eh, inst);
+        RetireInstance(inst);
+      } else if (!config().enable_time_sharing &&
+                 now - inst->last_used() >= config().exclusive_keepalive) {
+        std::erase(st.eh, inst);
+        RetireInstance(inst);
+      }
+    }
+
+    // --- time-sharing -> cold (Fig. 8 ⑤) ---------------------------------
+    if (st.has_ts && now - st.ts_last_used > config().warm_timeout) {
+      if (st.ts != nullptr && st.ts->Idle()) {
+        RetireInstance(st.ts);
+        st.ts = nullptr;
+      }
+      if (st.ts == nullptr) st.has_ts = false;
+    }
+
+    // --- pipeline migration (§5.3) ---------------------------------------
+    // Cooldown one utilization window per function so a drained pipeline's
+    // freed slices are not immediately rebuilt into a new pipeline and
+    // migrated again.
+    if (config().enable_migration &&
+        now - st.last_migration >= config().util_window) {
+      for (Instance* inst : std::vector<Instance*>(st.eh)) {
+        if (!inst->IsPipelined() ||
+            inst->state() != InstanceState::kReady) {
+          continue;
+        }
+        auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+        if (!sid) break;
+        auto plan = MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+        if (!plan) break;
+        Instance* mono = LaunchInstance(spec, std::move(*plan), IsWarm(fn));
+        st.eh.push_back(mono);
+        std::erase(st.eh, inst);
+        DrainOrRetire(inst);
+        ++migrations_;
+        st.last_migration = now;
+        FFS_LOG_DEBUG("ffs") << "migrated fn " << fn.value
+                             << " pipeline -> slice " << sid->value;
+        break;  // at most one migration per function per tick
+      }
+    }
+  }
+}
+
+}  // namespace fluidfaas::core

@@ -1,0 +1,89 @@
+// The FluidFaaS platform: dynamic pipeline construction on fragmented MIG
+// slices (§5.2) plus hotness-aware eviction-based time sharing (§5.3).
+//
+// Instance states follow Fig. 8:
+//   * The first request for a function creates a TIME-SHARING instance (①).
+//   * Utilization above the hot threshold promotes it to EXCLUSIVE-HOT —
+//     deployed through the CV-ranked pipeline planner, so a promotion can
+//     land on fragmented slices as a pipeline (②).
+//   * Falling utilization demotes back to time sharing (③).
+//   * A time-sharing instance may be evicted to CPU memory = WARM (④), and
+//     is terminated after ten idle minutes = COLD (⑤).
+//
+// Exclusive-hot instances are never evicted; all pipeline instances are
+// exclusive-hot (paper: "to simplify scheduling"). At most one time-sharing
+// instance exists per function; time-sharing instances are monolithic and
+// share slices through LRU eviction.
+//
+// Request routing is heterogeneity-aware (§5.3): pending requests are
+// ordered by adjusted deadline; exclusive-hot instances are tried lowest
+// latency first up to capacity, then the time-sharing instance, then the
+// least-loaded fallback.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace fluidfaas::core {
+
+class FluidFaasPlatform : public platform::Platform {
+ public:
+  FluidFaasPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                    metrics::Recorder& recorder,
+                    std::vector<platform::FunctionSpec> functions,
+                    platform::PlatformConfig config);
+
+  std::string name() const override { return "FluidFaaS"; }
+
+  /// Introspection for tests.
+  int NumExclusiveHot(FunctionId fn) const;
+  bool HasTimeSharingInstance(FunctionId fn) const;
+  bool TimeSharingResident(FunctionId fn) const;
+  std::size_t evictions() const { return evictions_; }
+  std::size_t promotions() const { return promotions_; }
+  std::size_t demotions() const { return demotions_; }
+  std::size_t migrations() const { return migrations_; }
+  std::size_t pipelines_launched() const { return pipelines_launched_; }
+
+ protected:
+  bool Route(RequestId rid, FunctionId fn) override;
+  void AutoscaleTick() override;
+  void OnCompleted(RequestId rid, FunctionId fn) override;
+
+ private:
+  struct FnState {
+    std::vector<platform::Instance*> eh;  // exclusive-hot instances
+    bool has_ts = false;                  // a time-sharing entry exists
+    platform::Instance* ts = nullptr;     // resident TS instance (or null)
+    SimTime ts_last_used = 0;
+    SimTime last_migration = 0;
+  };
+
+  FnState& state(FunctionId fn);
+
+  /// Make fn's time-sharing instance resident: free slice if available,
+  /// otherwise evict the LRU idle resident TS instance whose slice fits.
+  /// Returns the (loading) instance or nullptr.
+  platform::Instance* EnsureTsResident(FunctionId fn);
+
+  /// Launch a new exclusive-hot instance via the ranked pipeline planner.
+  platform::Instance* LaunchExclusive(const platform::FunctionSpec& spec);
+
+  void PruneDead(FnState& st);
+  void RetireDrainedIdle();
+
+  double EhCapacity(const FnState& st) const;
+
+  std::vector<FnState> fn_state_;
+
+  std::size_t evictions_ = 0;
+  std::size_t promotions_ = 0;
+  std::size_t demotions_ = 0;
+  std::size_t migrations_ = 0;
+  std::size_t pipelines_launched_ = 0;
+};
+
+}  // namespace fluidfaas::core

@@ -1,0 +1,174 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace fluidfaas::core {
+
+SimDuration StageLatencyOnGpcs(const model::AppDag& dag, int begin, int end,
+                               int gpcs) {
+  SimDuration t = 0;
+  for (int i = begin; i < end; ++i) {
+    t += dag.component(i).ExpectedLatencyOnGpcs(gpcs);
+  }
+  return t;
+}
+
+Bytes StageMemory(const model::AppDag& dag, int begin, int end) {
+  Bytes b = 0;
+  for (int i = begin; i < end; ++i) b += dag.component(i).MemoryRequired();
+  return b;
+}
+
+Bytes StageWeights(const model::AppDag& dag, int begin, int end) {
+  Bytes b = 0;
+  for (int i = begin; i < end; ++i) b += dag.component(i).weights;
+  return b;
+}
+
+std::optional<StagePlan> MakeStagePlan(const model::AppDag& dag, int begin,
+                                       int end) {
+  FFS_CHECK(begin >= 0 && begin < end && end <= dag.size());
+  StagePlan s;
+  s.begin = begin;
+  s.end = end;
+  s.memory = StageMemory(dag, begin, end);
+  s.weights = StageWeights(dag, begin, end);
+  gpu::MigProfile p;
+  if (!gpu::SmallestProfileForMemory(s.memory, p)) return std::nullopt;
+  s.min_profile = p;
+  s.time_on_min_profile = StageLatencyOnGpcs(dag, begin, end, gpu::Gpcs(p));
+  return s;
+}
+
+namespace {
+
+double CandidateCv(const PipelineCandidate& c) {
+  std::vector<double> times;
+  times.reserve(c.stages.size());
+  for (const StagePlan& s : c.stages) {
+    times.push_back(static_cast<double>(s.time_on_min_profile));
+  }
+  return CoefficientOfVariation(times);
+}
+
+SimDuration CandidateLatency(const PipelineCandidate& c) {
+  SimDuration t = 0;
+  for (const StagePlan& s : c.stages) t += s.time_on_min_profile;
+  return t;
+}
+
+std::vector<int> CutPattern(const PipelineCandidate& c) {
+  std::vector<int> cuts;
+  for (const StagePlan& s : c.stages) cuts.push_back(s.begin);
+  return cuts;
+}
+
+}  // namespace
+
+std::vector<PipelineCandidate> EnumerateRankedPipelines(
+    const model::AppDag& dag, int max_stages, RankPolicy policy) {
+  FFS_CHECK(max_stages >= 1);
+  const int k = dag.size();
+  std::vector<PipelineCandidate> out;
+
+  // Each subset of the k-1 cut positions is one candidate; iterate via a
+  // bitmask (k <= ~20 easily tractable; the paper's apps have k <= 5).
+  FFS_CHECK_MSG(k <= 20, "DAG too large for exhaustive partition enumeration");
+  const unsigned num_masks = 1u << (k - 1);
+  for (unsigned mask = 0; mask < num_masks; ++mask) {
+    PipelineCandidate cand;
+    bool feasible = true;
+    int begin = 0;
+    for (int cut = 1; cut <= k; ++cut) {
+      const bool boundary = (cut == k) || (mask & (1u << (cut - 1)));
+      if (!boundary) continue;
+      auto stage = MakeStagePlan(dag, begin, cut);
+      if (!stage) {
+        feasible = false;
+        break;
+      }
+      cand.stages.push_back(*stage);
+      begin = cut;
+    }
+    if (!feasible) continue;
+    if (cand.num_stages() > max_stages) continue;
+    cand.cv = CandidateCv(cand);
+    out.push_back(std::move(cand));
+  }
+
+  auto by_cv = [](const PipelineCandidate& a, const PipelineCandidate& b) {
+    if (a.cv != b.cv) return a.cv < b.cv;
+    if (a.num_stages() != b.num_stages())
+      return a.num_stages() < b.num_stages();
+    return CutPattern(a) < CutPattern(b);
+  };
+  auto by_stages = [&](const PipelineCandidate& a,
+                       const PipelineCandidate& b) {
+    if (a.num_stages() != b.num_stages())
+      return a.num_stages() < b.num_stages();
+    return by_cv(a, b);
+  };
+  auto by_latency = [&](const PipelineCandidate& a,
+                        const PipelineCandidate& b) {
+    const SimDuration la = CandidateLatency(a);
+    const SimDuration lb = CandidateLatency(b);
+    if (la != lb) return la < lb;
+    return by_cv(a, b);
+  };
+
+  switch (policy) {
+    case RankPolicy::kCv:
+      std::sort(out.begin(), out.end(), by_cv);
+      break;
+    case RankPolicy::kFewestStages:
+      std::sort(out.begin(), out.end(), by_stages);
+      break;
+    case RankPolicy::kGreedyLatency:
+      std::sort(out.begin(), out.end(), by_latency);
+      break;
+  }
+  return out;
+}
+
+std::optional<gpu::MigProfile> MinMonolithicProfile(const model::AppDag& dag) {
+  gpu::MigProfile p;
+  if (!gpu::SmallestProfileForMemory(dag.TotalMemory(), p)) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+std::optional<gpu::MigProfile> MinPipelinedProfile(const model::AppDag& dag,
+                                                   int max_stages) {
+  auto candidates = EnumerateRankedPipelines(dag, max_stages);
+  std::optional<gpu::MigProfile> best;
+  for (const PipelineCandidate& c : candidates) {
+    gpu::MigProfile widest = c.stages.front().min_profile;
+    for (const StagePlan& s : c.stages) {
+      if (gpu::Gpcs(s.min_profile) > gpu::Gpcs(widest)) {
+        widest = s.min_profile;
+      }
+    }
+    if (!best || gpu::Gpcs(widest) < gpu::Gpcs(*best)) best = widest;
+  }
+  return best;
+}
+
+std::string ToString(const PipelineCandidate& c) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < c.stages.size(); ++i) {
+    const StagePlan& s = c.stages[i];
+    if (i) os << " | ";
+    os << "[" << s.begin << "," << s.end << ")@" << gpu::Name(s.min_profile)
+       << " " << ToMillis(s.time_on_min_profile) << "ms";
+  }
+  os << "} cv=" << c.cv;
+  return os.str();
+}
+
+}  // namespace fluidfaas::core

@@ -1,0 +1,149 @@
+// Cluster model: nodes of A100 GPUs, each GPU carved into MIG slices.
+//
+// This layer owns slice identity and the *strong-isolation invariant*: a MIG
+// slice is bound to at most one function instance at any instant (paper §4,
+// "only one instance to access a MIG slice at any given time"). Binding and
+// release go through Cluster so the invariant is enforced in one place.
+//
+// Reconfiguring a GPU's partition is modelled with the minutes-scale cost the
+// paper cites (§2.2); schedulers treat it as prohibitive, which is precisely
+// the rigidity FluidFaaS works around.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "gpu/mig_partition.h"
+
+namespace fluidfaas::gpu {
+
+/// One MIG slice as the platform sees it.
+struct MigSlice {
+  SliceId id;              // cluster-unique
+  NodeId node;
+  GpuId gpu;               // cluster-unique GPU index
+  Placement placement;     // profile + memory-slot position
+  InstanceId occupant;     // invalid() when free
+
+  MigProfile profile() const { return placement.profile; }
+  int gpcs() const { return Gpcs(placement.profile); }
+  Bytes memory() const { return MemBytes(placement.profile); }
+  bool free() const { return !occupant.valid(); }
+};
+
+/// A single GPU: its partition and the slices it exposes.
+class Gpu {
+ public:
+  Gpu(GpuId id, NodeId node, const MigPartition& partition,
+      SliceId first_slice_id);
+
+  GpuId id() const { return id_; }
+  NodeId node() const { return node_; }
+  const MigPartition& partition() const { return partition_; }
+  const std::vector<MigSlice>& slices() const { return slices_; }
+  std::vector<MigSlice>& slices() { return slices_; }
+
+  bool AllSlicesFree() const;
+
+  /// Replace the partition (slice ids are renumbered starting at
+  /// `first_slice_id`). Requires all slices free. The caller accounts for
+  /// the reconfiguration delay via ReconfigCost().
+  void Repartition(const MigPartition& partition, SliceId first_slice_id);
+
+ private:
+  GpuId id_;
+  NodeId node_;
+  MigPartition partition_;
+  std::vector<MigSlice> slices_;
+};
+
+/// Cost model of a MIG reconfiguration (checkpoint + repartition + resume);
+/// "several minutes" per the paper (§2.2) and Miso.
+struct ReconfigCostModel {
+  SimDuration fixed = Minutes(3.0);
+  /// Extra cost per GiB of state checkpointed off the GPU.
+  SimDuration per_gib_checkpoint = Millis(400);
+
+  SimDuration Cost(Bytes checkpointed_state) const {
+    return fixed + static_cast<SimDuration>(
+                       ToSeconds(per_gib_checkpoint) * 1e6 *
+                       (static_cast<double>(checkpointed_state) / kGiB));
+  }
+};
+
+/// Whole-cluster topology and slice registry.
+class Cluster {
+ public:
+  /// `node_partitions[n][g]` is the partition of GPU g on node n.
+  explicit Cluster(std::vector<std::vector<MigPartition>> node_partitions);
+
+  /// Convenience: `num_nodes` nodes × `gpus_per_node` GPUs, all with the
+  /// same partition (the paper's default setup is 2 nodes × 8 GPUs).
+  static Cluster Uniform(int num_nodes, int gpus_per_node,
+                         const MigPartition& partition);
+
+  int num_nodes() const { return static_cast<int>(gpus_per_node_.size()); }
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+  std::size_t num_slices() const { return slices_.size(); }
+
+  const Gpu& gpu(GpuId id) const;
+  const std::vector<Gpu>& gpus() const { return gpus_; }
+
+  const MigSlice& slice(SliceId id) const;
+  MigSlice& slice(SliceId id);
+
+  /// All slices, cluster-wide, in id order.
+  std::vector<SliceId> AllSlices() const;
+
+  /// Free slices, optionally restricted to one profile / one node.
+  std::vector<SliceId> FreeSlices() const;
+  std::vector<SliceId> FreeSlices(MigProfile profile) const;
+  std::vector<SliceId> FreeSlicesOnNode(NodeId node) const;
+
+  /// Smallest free slice with at least `min_memory`; prefers fewer GPCs,
+  /// then lower slice id (deterministic). nullopt when none qualifies.
+  std::optional<SliceId> SmallestFreeSliceWithMemory(Bytes min_memory) const;
+
+  /// Bind / release enforce the strong-isolation invariant.
+  void Bind(SliceId sid, InstanceId instance);
+  void Release(SliceId sid, InstanceId instance);
+
+  /// Replace a GPU's MIG partition at runtime (all its slices must be
+  /// free). The old slice ids die permanently; the new slices get fresh
+  /// cluster-unique ids, returned in placement order. The caller accounts
+  /// for the minutes-scale delay via ReconfigCostModel and must re-sync any
+  /// per-slice observers (e.g. metrics::Recorder::SyncSlices).
+  std::vector<SliceId> RepartitionGpu(GpuId gpu,
+                                      const MigPartition& partition);
+
+  /// True when `sid` refers to a slice retired by a repartition.
+  bool IsDead(SliceId sid) const;
+
+  /// GPC accounting (for utilization metrics).
+  int TotalGpcs() const;
+  int BoundGpcs() const;
+
+  /// True if any slice of `gpu` is bound.
+  bool GpuHasBoundSlice(GpuId gpu) const;
+
+  std::string Describe() const;
+
+ private:
+  // Slice index entries are (gpu index, index into that GPU's slice vector)
+  // rather than raw pointers so Cluster stays freely movable/copyable.
+  // gpu == -1 marks a slice id retired by RepartitionGpu.
+  struct SliceRef {
+    int gpu;
+    int local;
+  };
+
+  std::vector<Gpu> gpus_;            // indexed by GpuId
+  std::vector<SliceRef> slices_;     // indexed by SliceId
+  std::vector<int> gpus_per_node_;   // node -> #GPUs
+  void RebuildSliceIndex();
+};
+
+}  // namespace fluidfaas::gpu

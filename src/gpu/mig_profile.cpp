@@ -1,0 +1,72 @@
+#include "gpu/mig_profile.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fluidfaas::gpu {
+namespace {
+
+constexpr std::array<ProfileInfo, 5> kProfileTable = {{
+    {MigProfile::k1g10gb, 1, 1, 7, "1g.10gb"},
+    {MigProfile::k2g20gb, 2, 2, 3, "2g.20gb"},
+    {MigProfile::k3g40gb, 3, 4, 2, "3g.40gb"},
+    {MigProfile::k4g40gb, 4, 4, 1, "4g.40gb"},
+    {MigProfile::k7g80gb, 7, 8, 1, "7g.80gb"},
+}};
+
+const std::vector<int> kStarts1g = {0, 1, 2, 3, 4, 5, 6};
+const std::vector<int> kStarts2g = {0, 2, 4};
+const std::vector<int> kStarts3g = {0, 4};
+const std::vector<int> kStartsTop = {0};
+
+}  // namespace
+
+const ProfileInfo& Info(MigProfile p) {
+  const auto idx = static_cast<std::size_t>(p);
+  FFS_CHECK(idx < kProfileTable.size());
+  return kProfileTable[idx];
+}
+
+MigProfile ProfileFromName(const std::string& name) {
+  for (const auto& info : kProfileTable) {
+    if (name == info.name) return info.profile;
+  }
+  throw FfsError("unknown MIG profile: " + name);
+}
+
+bool SmallestProfileForMemory(Bytes bytes, MigProfile& out) {
+  for (MigProfile p : ProfilesAscending()) {
+    if (MemBytes(p) >= bytes) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<MigProfile> ProfilesAscending() {
+  std::vector<MigProfile> ps(kAllProfiles.begin(), kAllProfiles.end());
+  std::sort(ps.begin(), ps.end(), [](MigProfile a, MigProfile b) {
+    if (Gpcs(a) != Gpcs(b)) return Gpcs(a) < Gpcs(b);
+    return MemBytes(a) < MemBytes(b);
+  });
+  return ps;
+}
+
+const std::vector<int>& AllowedStartSlots(MigProfile p) {
+  switch (p) {
+    case MigProfile::k1g10gb:
+      return kStarts1g;
+    case MigProfile::k2g20gb:
+      return kStarts2g;
+    case MigProfile::k3g40gb:
+      return kStarts3g;
+    case MigProfile::k4g40gb:
+    case MigProfile::k7g80gb:
+      return kStartsTop;
+  }
+  throw FfsError("invalid MigProfile");
+}
+
+}  // namespace fluidfaas::gpu

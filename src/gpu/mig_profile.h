@@ -1,0 +1,71 @@
+// MIG slice profiles of the NVIDIA A100-80GB, per Table 2 of the paper.
+//
+// An A100's compute is organized as 7 graphics processing clusters (GPCs);
+// its 80 GB of HBM is carved into 8 memory slices of 10 GB. A MIG profile
+// names how many GPCs and memory slices an instance owns, and hardware
+// placement rules constrain where each profile may sit — these rules, not
+// totals, are what make MIG partitioning rigid and fragmentation-prone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fluidfaas::gpu {
+
+/// Number of GPCs on an A100 (paper §2.2: 1 GPC == 1 vGPU).
+inline constexpr int kGpcsPerGpu = 7;
+/// Number of 10 GB memory slices on an A100-80GB.
+inline constexpr int kMemSlotsPerGpu = 8;
+/// Capacity of one memory slice.
+inline constexpr Bytes kMemPerSlot = 10ll * kGiB;
+
+/// The five A100 MIG profiles the paper uses (Table 2).
+enum class MigProfile : std::uint8_t {
+  k1g10gb = 0,
+  k2g20gb = 1,
+  k3g40gb = 2,
+  k4g40gb = 3,
+  k7g80gb = 4,
+};
+
+inline constexpr std::array<MigProfile, 5> kAllProfiles = {
+    MigProfile::k1g10gb, MigProfile::k2g20gb, MigProfile::k3g40gb,
+    MigProfile::k4g40gb, MigProfile::k7g80gb};
+
+/// Static attributes of a profile.
+struct ProfileInfo {
+  MigProfile profile;
+  int gpcs;            // compute share ("Ng" in the profile name)
+  int mem_slots;       // memory slices of 10 GB each
+  int max_count;       // max instances of this profile on one GPU (Table 2)
+  const char* name;    // canonical "Ng.MMgb" spelling
+};
+
+const ProfileInfo& Info(MigProfile p);
+
+inline int Gpcs(MigProfile p) { return Info(p).gpcs; }
+inline Bytes MemBytes(MigProfile p) { return Info(p).mem_slots * kMemPerSlot; }
+inline const char* Name(MigProfile p) { return Info(p).name; }
+
+/// Parse "1g.10gb" etc.; throws FfsError on unknown spellings.
+MigProfile ProfileFromName(const std::string& name);
+
+/// Smallest profile whose memory capacity is >= `bytes`, or nullopt-like
+/// sentinel: returns true and sets `out` when one exists.
+bool SmallestProfileForMemory(Bytes bytes, MigProfile& out);
+
+/// Profiles ordered by ascending GPC count (ties broken by memory).
+std::vector<MigProfile> ProfilesAscending();
+
+/// Hardware placement rule: the memory-slot start positions at which a
+/// profile may be placed on an A100 (MIG user guide):
+///   1g.10gb: slots 0..6        2g.20gb: slots {0, 2, 4}
+///   3g.40gb: slots {0, 4}      4g.40gb: slot {0}
+///   7g.80gb: slot {0}
+const std::vector<int>& AllowedStartSlots(MigProfile p);
+
+}  // namespace fluidfaas::gpu

@@ -1,0 +1,174 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "baselines/esg_platform.h"
+#include "baselines/repartition_platform.h"
+#include "common/error.h"
+#include "core/ffs_distributed.h"
+#include "core/ffs_platform.h"
+#include "sim/simulator.h"
+
+namespace fluidfaas::harness {
+
+const char* Name(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kFluidFaas:
+      return "FluidFaaS";
+    case SystemKind::kEsg:
+      return "ESG";
+    case SystemKind::kInfless:
+      return "INFless";
+    case SystemKind::kRepartition:
+      return "Repartition";
+    case SystemKind::kFluidFaasDistributed:
+      return "FluidFaaS-dist";
+  }
+  return "?";
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  // --- cluster -------------------------------------------------------------
+  std::vector<std::vector<gpu::MigPartition>> parts = config.partitions;
+  if (parts.empty()) {
+    parts.assign(static_cast<std::size_t>(config.num_nodes),
+                 gpu::PartitionSchemeP1(config.gpus_per_node));
+  }
+  gpu::Cluster cluster(std::move(parts));
+
+  // --- workload ------------------------------------------------------------
+  trace::WorkloadParams wp;
+  wp.slo_scale = config.platform.slo_scale;
+  wp.duration = config.duration;
+  wp.load_factor = config.load_factor;
+  wp.seed = config.seed;
+  wp.max_stages = config.platform.max_stages;
+  trace::Workload workload =
+      trace::MakeWorkload(config.tier, cluster, wp);
+  if (!config.custom_trace.empty()) {
+    workload.trace.clear();
+    for (const trace::Invocation& inv : config.custom_trace) {
+      FFS_CHECK_MSG(inv.fn.valid() &&
+                        static_cast<std::size_t>(inv.fn.value) <
+                            workload.functions.size(),
+                    "custom trace references unknown function id " +
+                        ToString(inv.fn));
+      if (inv.time < config.duration) workload.trace.push_back(inv);
+    }
+    trace::SortTrace(workload.trace);
+    workload.offered_rps =
+        trace::MeanRps(workload.trace, config.duration);
+  }
+
+  // --- platform ------------------------------------------------------------
+  sim::Simulator sim;
+  auto recorder = std::make_unique<metrics::Recorder>(cluster);
+  std::unique_ptr<platform::Platform> plat;
+  switch (config.system) {
+    case SystemKind::kFluidFaas:
+      plat = std::make_unique<core::FluidFaasPlatform>(
+          sim, cluster, *recorder, workload.functions, config.platform);
+      break;
+    case SystemKind::kEsg:
+      plat = std::make_unique<baselines::EsgPlatform>(
+          sim, cluster, *recorder, workload.functions, config.platform);
+      break;
+    case SystemKind::kInfless:
+      plat = std::make_unique<baselines::InflessPlatform>(
+          sim, cluster, *recorder, workload.functions, config.platform);
+      break;
+    case SystemKind::kRepartition:
+      plat = std::make_unique<baselines::RepartitionPlatform>(
+          sim, cluster, *recorder, workload.functions, config.platform);
+      break;
+    case SystemKind::kFluidFaasDistributed:
+      plat = std::make_unique<core::DistributedFluidFaas>(
+          sim, cluster, *recorder, workload.functions, config.platform);
+      break;
+  }
+
+  // --- replay --------------------------------------------------------------
+  plat->Start();
+  for (const trace::Invocation& inv : workload.trace) {
+    sim.At(inv.time, [&plat, fn = inv.fn] { plat->Submit(fn); });
+  }
+  sim.RunUntil(config.duration);
+
+  // Drain the backlog: keep the platform's periodic machinery alive until
+  // every request completed or the drain cap is reached.
+  const SimTime cap = config.duration + config.drain_cap;
+  while (recorder->completed_requests() < recorder->total_requests() &&
+         sim.Now() < cap) {
+    sim.RunUntil(sim.Now() + Seconds(1.0));
+  }
+  plat->Stop();
+
+  // --- metrics -------------------------------------------------------------
+  SimTime last_completion = config.duration;
+  for (const metrics::RequestRecord& r : recorder->records()) {
+    if (r.done()) last_completion = std::max(last_completion, r.completion);
+  }
+  recorder->Close(std::max(last_completion, sim.Now()));
+
+  ExperimentResult res;
+  res.system = Name(config.system);
+  res.tier = trace::Name(config.tier);
+  res.makespan = last_completion;
+  res.offered_rps = workload.offered_rps;
+  res.ideal_rps = workload.ideal_rps;
+  res.total_gpcs = cluster.TotalGpcs();
+  for (const platform::FunctionSpec& f : workload.functions) {
+    res.function_names.push_back(f.name);
+    res.function_slos.push_back(f.slo);
+  }
+  res.slo_hit_rate = recorder->SloHitRate();
+  res.throughput_rps = recorder->WindowedThroughput(config.duration);
+  res.mig_time = recorder->MigTime();
+  res.gpu_time = recorder->GpuTime();
+  if (auto* ffs_plat =
+          dynamic_cast<core::FluidFaasPlatform*>(plat.get())) {
+    res.evictions = ffs_plat->evictions();
+    res.promotions = ffs_plat->promotions();
+    res.demotions = ffs_plat->demotions();
+    res.migrations = ffs_plat->migrations();
+    res.pipelines_launched = ffs_plat->pipelines_launched();
+  }
+  if (auto* dist = dynamic_cast<core::DistributedFluidFaas*>(plat.get())) {
+    res.evictions = dist->evictions();
+    res.pipelines_launched = dist->pipelines_launched();
+  }
+  if (auto* rep =
+          dynamic_cast<baselines::RepartitionPlatform*>(plat.get())) {
+    res.reconfigurations = rep->reconfigurations();
+    res.reconfiguration_blackout = rep->reconfiguration_blackout();
+  }
+  res.recorder = std::move(recorder);
+  return res;
+}
+
+ReplicatedSummary RunReplicated(ExperimentConfig config, int replicas) {
+  FFS_CHECK(replicas >= 1);
+  ReplicatedSummary s;
+  s.replicas = replicas;
+  for (int i = 0; i < replicas; ++i) {
+    config.seed = config.seed * 7919 + 17;  // distinct, deterministic seeds
+    auto r = RunExperiment(config);
+    s.throughput_rps.Add(r.throughput_rps);
+    s.slo_hit_rate.Add(r.slo_hit_rate);
+    auto lats = r.recorder->LatenciesSeconds();
+    if (!lats.empty()) s.p95_latency_s.Add(Percentile(lats, 0.95));
+  }
+  return s;
+}
+
+std::vector<ExperimentResult> RunComparison(ExperimentConfig config) {
+  std::vector<ExperimentResult> out;
+  for (SystemKind kind :
+       {SystemKind::kInfless, SystemKind::kEsg, SystemKind::kFluidFaas}) {
+    config.system = kind;
+    out.push_back(RunExperiment(config));
+  }
+  return out;
+}
+
+}  // namespace fluidfaas::harness

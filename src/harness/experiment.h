@@ -1,0 +1,108 @@
+// Experiment harness: one call builds a cluster, a workload, and a platform
+// (FluidFaaS / ESG / INFless), replays the trace, lets in-flight work drain,
+// and returns the metrics bundle the bench binaries print.
+//
+// Trace generation is seeded independently of the system under test, so the
+// three platforms in one comparison see byte-identical arrivals.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "gpu/mig_partition.h"
+#include "metrics/recorder.h"
+#include "platform/config.h"
+#include "trace/workload.h"
+
+namespace fluidfaas::harness {
+
+enum class SystemKind {
+  kFluidFaas = 0,
+  kEsg = 1,
+  kInfless = 2,
+  /// Extension baseline (not in the paper's eval): monolithic scheduling
+  /// plus minutes-scale GPU repartitioning when fragmented out.
+  kRepartition = 3,
+  /// FluidFaaS with the paper's two-level controller/invoker structure
+  /// made explicit (per-node invokers + front load balancer).
+  kFluidFaasDistributed = 4,
+};
+
+const char* Name(SystemKind kind);
+
+struct ExperimentConfig {
+  SystemKind system = SystemKind::kFluidFaas;
+  trace::WorkloadTier tier = trace::WorkloadTier::kMedium;
+
+  int num_nodes = 2;
+  int gpus_per_node = 8;
+  /// Per-node GPU partitions; empty = default P1 on every GPU.
+  std::vector<std::vector<gpu::MigPartition>> partitions;
+
+  SimDuration duration = Seconds(300);
+  /// Cap on post-trace draining of the backlog (longer than the exclusive
+  /// keep-alive so blocked functions eventually get slices and finish).
+  SimDuration drain_cap = Minutes(15);
+  double load_factor = 0.0;  // 0 = tier default
+  std::uint64_t seed = 1234;
+
+  /// When non-empty, replay this trace instead of synthesizing one (e.g.
+  /// loaded via trace::LoadCsv or trace::ExpandAzureDataset). Function ids
+  /// must be < the tier's function count; invocations past `duration` are
+  /// dropped.
+  trace::Trace custom_trace;
+
+  platform::PlatformConfig platform;
+};
+
+struct ExperimentResult {
+  std::string system;
+  std::string tier;
+
+  std::unique_ptr<metrics::Recorder> recorder;
+  std::vector<std::string> function_names;
+  std::vector<SimDuration> function_slos;
+  double offered_rps = 0.0;
+  double ideal_rps = 0.0;
+  SimTime makespan = 0;  // last completion (or trace end if greater)
+  int total_gpcs = 0;
+
+  // Headline summary (derived from `recorder`, using the makespan horizon).
+  double slo_hit_rate = 0.0;
+  double throughput_rps = 0.0;
+  SimDuration mig_time = 0;
+  SimDuration gpu_time = 0;
+
+  // Scheduler-behaviour counters (FluidFaaS only; zero otherwise).
+  std::size_t evictions = 0;
+  std::size_t promotions = 0;
+  std::size_t demotions = 0;
+  std::size_t migrations = 0;
+  std::size_t pipelines_launched = 0;
+
+  // Repartition-baseline counters (kRepartition only; zero otherwise).
+  std::size_t reconfigurations = 0;
+  SimDuration reconfiguration_blackout = 0;
+};
+
+/// Run one experiment to completion (trace + drain) and collect metrics.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Convenience: run all three systems on the same workload.
+std::vector<ExperimentResult> RunComparison(ExperimentConfig config);
+
+/// Seed-replication summary: the same configuration run across `replicas`
+/// trace seeds, aggregated so benches can report mean ± std instead of a
+/// single draw.
+struct ReplicatedSummary {
+  int replicas = 0;
+  RunningStats throughput_rps;
+  RunningStats slo_hit_rate;
+  RunningStats p95_latency_s;
+};
+
+ReplicatedSummary RunReplicated(ExperimentConfig config, int replicas);
+
+}  // namespace fluidfaas::harness

@@ -1,0 +1,71 @@
+#include "harness/json_report.h"
+
+#include "common/json.h"
+#include "common/stats.h"
+
+namespace fluidfaas::harness {
+namespace {
+
+void WriteResult(JsonWriter& w, const ExperimentResult& r) {
+  w.BeginObject();
+  w.Key("system").Value(r.system);
+  w.Key("tier").Value(r.tier);
+  w.Key("offered_rps").Value(r.offered_rps);
+  w.Key("ideal_rps").Value(r.ideal_rps);
+  w.Key("throughput_rps").Value(r.throughput_rps);
+  w.Key("slo_hit_rate").Value(r.slo_hit_rate);
+  w.Key("makespan_s").Value(ToSeconds(r.makespan));
+  w.Key("mig_time_s").Value(ToSeconds(r.mig_time));
+  w.Key("gpu_time_s").Value(ToSeconds(r.gpu_time));
+  w.Key("total_gpcs").Value(r.total_gpcs);
+  if (r.recorder) {
+    w.Key("total_requests").Value(r.recorder->total_requests());
+    w.Key("completed_requests").Value(r.recorder->completed_requests());
+    auto lats = r.recorder->LatenciesSeconds();
+    if (!lats.empty()) {
+      auto ps = Percentiles(lats, {0.5, 0.95, 0.99});
+      w.Key("latency_p50_s").Value(ps[0]);
+      w.Key("latency_p95_s").Value(ps[1]);
+      w.Key("latency_p99_s").Value(ps[2]);
+    }
+    w.Key("per_function").BeginArray();
+    for (std::size_t f = 0; f < r.function_names.size(); ++f) {
+      const FunctionId fn(static_cast<std::int32_t>(f));
+      w.BeginObject();
+      w.Key("name").Value(r.function_names[f]);
+      w.Key("slo_s").Value(ToSeconds(r.function_slos[f]));
+      w.Key("slo_hit_rate").Value(r.recorder->SloHitRate(fn));
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.Key("scheduler").BeginObject();
+  w.Key("pipelines_launched").Value(r.pipelines_launched);
+  w.Key("evictions").Value(r.evictions);
+  w.Key("promotions").Value(r.promotions);
+  w.Key("demotions").Value(r.demotions);
+  w.Key("migrations").Value(r.migrations);
+  w.Key("reconfigurations").Value(r.reconfigurations);
+  w.Key("reconfiguration_blackout_s")
+      .Value(ToSeconds(r.reconfiguration_blackout));
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ResultToJson(const ExperimentResult& result) {
+  JsonWriter w;
+  WriteResult(w, result);
+  return w.Take();
+}
+
+std::string ResultsToJson(const std::vector<ExperimentResult>& results) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const auto& r : results) WriteResult(w, r);
+  w.EndArray();
+  return w.Take();
+}
+
+}  // namespace fluidfaas::harness

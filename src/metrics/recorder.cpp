@@ -1,0 +1,271 @@
+#include "metrics/recorder.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fluidfaas::metrics {
+
+Recorder::Recorder(const gpu::Cluster& cluster) {
+  per_gpu_.resize(static_cast<std::size_t>(cluster.num_gpus()));
+  slices_.reserve(cluster.num_slices());
+  for (SliceId sid : cluster.AllSlices()) {
+    const gpu::MigSlice& s = cluster.slice(sid);
+    SliceInfo info;
+    info.gpu = s.gpu;
+    info.gpcs = s.gpcs();
+    slices_.push_back(info);
+    per_gpu_[static_cast<std::size_t>(s.gpu.value)].gpcs += s.gpcs();
+  }
+  total_gpcs_ = cluster.TotalGpcs();
+}
+
+RequestId Recorder::NewRequest(FunctionId fn, SimTime arrival,
+                               SimTime deadline) {
+  RequestRecord r;
+  r.id = RequestId(static_cast<std::int32_t>(records_.size()));
+  r.fn = fn;
+  r.arrival = arrival;
+  r.deadline = deadline;
+  records_.push_back(r);
+  return r.id;
+}
+
+RequestRecord& Recorder::record(RequestId id) {
+  FFS_CHECK(id.valid() && static_cast<std::size_t>(id.value) < records_.size());
+  return records_[static_cast<std::size_t>(id.value)];
+}
+
+const RequestRecord& Recorder::record(RequestId id) const {
+  return const_cast<Recorder*>(this)->record(id);
+}
+
+void Recorder::Complete(RequestId id, SimTime now) {
+  RequestRecord& r = record(id);
+  FFS_CHECK_MSG(!r.done(), "request completed twice");
+  r.completion = now;
+  ++completed_;
+}
+
+void Recorder::SliceBound(SliceId s, SimTime now) {
+  SliceInfo& info = slices_[static_cast<std::size_t>(s.value)];
+  FFS_CHECK(!info.bound);
+  info.bound = true;
+  info.bound_since = now;
+  GpuInfo& g = per_gpu_[static_cast<std::size_t>(info.gpu.value)];
+  g.bound_slices += 1;
+  bound_gpc_count_ += info.gpcs;
+  bound_gpcs_.Record(now, bound_gpc_count_);
+  g.occupied_gpcs.Record(now, g.occupied_gpcs.ValueAt(now) + info.gpcs);
+}
+
+void Recorder::SliceReleased(SliceId s, SimTime now) {
+  SliceInfo& info = slices_[static_cast<std::size_t>(s.value)];
+  FFS_CHECK(info.bound);
+  FFS_CHECK_MSG(!info.busy, "releasing a busy slice");
+  info.bound = false;
+  info.bound_total += now - info.bound_since;
+  GpuInfo& g = per_gpu_[static_cast<std::size_t>(info.gpu.value)];
+  g.bound_slices -= 1;
+  bound_gpc_count_ -= info.gpcs;
+  bound_gpcs_.Record(now, bound_gpc_count_);
+  g.occupied_gpcs.Record(now, g.occupied_gpcs.ValueAt(now) - info.gpcs);
+}
+
+void Recorder::SliceBusy(SliceId s, SimTime now) {
+  SliceInfo& info = slices_[static_cast<std::size_t>(s.value)];
+  FFS_CHECK_MSG(info.bound, "busy on an unbound slice");
+  FFS_CHECK(!info.busy);
+  info.busy = true;
+  info.busy_since = now;
+  GpuInfo& g = per_gpu_[static_cast<std::size_t>(info.gpu.value)];
+  if (g.busy_slices == 0) {
+    g.busy_since = now;
+    ++busy_gpu_count_;
+    busy_gpus_.Record(now, busy_gpu_count_);
+  }
+  g.busy_slices += 1;
+  busy_gpc_count_ += info.gpcs;
+  busy_gpcs_.Record(now, busy_gpc_count_);
+  g.active_gpcs.Record(now, g.active_gpcs.ValueAt(now) + info.gpcs);
+}
+
+void Recorder::SliceIdle(SliceId s, SimTime now) {
+  SliceInfo& info = slices_[static_cast<std::size_t>(s.value)];
+  FFS_CHECK(info.busy);
+  info.busy = false;
+  info.busy_total += now - info.busy_since;
+  GpuInfo& g = per_gpu_[static_cast<std::size_t>(info.gpu.value)];
+  g.busy_slices -= 1;
+  if (g.busy_slices == 0) {
+    g.busy_total += now - g.busy_since;
+    --busy_gpu_count_;
+    busy_gpus_.Record(now, busy_gpu_count_);
+  }
+  busy_gpc_count_ -= info.gpcs;
+  busy_gpcs_.Record(now, busy_gpc_count_);
+  g.active_gpcs.Record(now, g.active_gpcs.ValueAt(now) - info.gpcs);
+}
+
+void Recorder::SyncSlices(const gpu::Cluster& cluster) {
+  for (SliceId sid : cluster.AllSlices()) {
+    if (static_cast<std::size_t>(sid.value) < slices_.size()) continue;
+    FFS_CHECK_MSG(static_cast<std::size_t>(sid.value) == slices_.size(),
+                  "fresh slice ids must be appended densely");
+    const gpu::MigSlice& s = cluster.slice(sid);
+    SliceInfo info;
+    info.gpu = s.gpu;
+    info.gpcs = s.gpcs();
+    slices_.push_back(info);
+  }
+  // Refresh per-GPU GPC weights from the live topology.
+  for (GpuInfo& g : per_gpu_) g.gpcs = 0;
+  for (SliceId sid : cluster.AllSlices()) {
+    const gpu::MigSlice& s = cluster.slice(sid);
+    per_gpu_[static_cast<std::size_t>(s.gpu.value)].gpcs += s.gpcs();
+  }
+  total_gpcs_ = cluster.TotalGpcs();
+}
+
+void Recorder::Close(SimTime end) {
+  FFS_CHECK_MSG(!closed_, "Recorder closed twice");
+  closed_ = true;
+  end_ = end;
+  for (SliceInfo& info : slices_) {
+    if (info.busy) {
+      info.busy_total += end - info.busy_since;
+      info.busy = false;
+    }
+    if (info.bound) {
+      info.bound_total += end - info.bound_since;
+      info.bound = false;
+    }
+  }
+  for (GpuInfo& g : per_gpu_) {
+    if (g.busy_slices > 0) g.busy_total += end - g.busy_since;
+    g.occupied_gpcs.Close(end);
+    g.active_gpcs.Close(end);
+  }
+  busy_gpcs_.Close(end);
+  bound_gpcs_.Close(end);
+  busy_gpus_.Close(end);
+}
+
+double Recorder::SloHitRate(bool count_outstanding) const {
+  std::size_t hits = 0;
+  std::size_t denom = 0;
+  for (const RequestRecord& r : records_) {
+    if (!r.done() && !count_outstanding) continue;
+    ++denom;
+    if (r.SloHit()) ++hits;
+  }
+  return denom ? static_cast<double>(hits) / static_cast<double>(denom) : 1.0;
+}
+
+double Recorder::SloHitRate(FunctionId fn, bool count_outstanding) const {
+  std::size_t hits = 0;
+  std::size_t denom = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.fn != fn) continue;
+    if (!r.done() && !count_outstanding) continue;
+    ++denom;
+    if (r.SloHit()) ++hits;
+  }
+  return denom ? static_cast<double>(hits) / static_cast<double>(denom) : 1.0;
+}
+
+double Recorder::Throughput() const {
+  FFS_CHECK_MSG(closed_, "Close() the recorder first");
+  return ThroughputOver(end_);
+}
+
+double Recorder::ThroughputOver(SimTime horizon) const {
+  if (horizon <= 0) return 0.0;
+  return static_cast<double>(completed_) / ToSeconds(horizon);
+}
+
+std::size_t Recorder::CompletedBy(SimTime t) const {
+  std::size_t n = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.done() && r.completion <= t) ++n;
+  }
+  return n;
+}
+
+double Recorder::WindowedThroughput(SimTime window) const {
+  if (window <= 0) return 0.0;
+  return static_cast<double>(CompletedBy(window)) / ToSeconds(window);
+}
+
+SimDuration Recorder::MigTime() const {
+  SimDuration t = 0;
+  for (const SliceInfo& s : slices_) t += s.busy_total;
+  return t;
+}
+
+SimDuration Recorder::GpuTime() const {
+  SimDuration t = 0;
+  for (const GpuInfo& g : per_gpu_) t += g.busy_total;
+  return t;
+}
+
+SimDuration Recorder::OccupiedMigTime() const {
+  SimDuration t = 0;
+  for (const SliceInfo& s : slices_) t += s.bound_total;
+  return t;
+}
+
+std::vector<Recorder::GpuOccupancy> Recorder::PerGpuOccupancy() const {
+  FFS_CHECK_MSG(closed_, "Close() the recorder first");
+  std::vector<GpuOccupancy> out;
+  for (const GpuInfo& g : per_gpu_) {
+    GpuOccupancy o;
+    const double denom = static_cast<double>(g.gpcs);
+    o.occupied = denom ? g.occupied_gpcs.MeanOver(0, end_) / denom : 0.0;
+    o.active = denom ? g.active_gpcs.MeanOver(0, end_) / denom : 0.0;
+    out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<Recorder::SliceTotals> Recorder::PerSliceTotals() const {
+  std::vector<SliceTotals> out;
+  out.reserve(slices_.size());
+  for (const SliceInfo& s : slices_) {
+    out.push_back(SliceTotals{s.gpu, s.gpcs, s.busy_total, s.bound_total});
+  }
+  return out;
+}
+
+std::vector<double> Recorder::LatenciesSeconds(FunctionId fn) const {
+  std::vector<double> out;
+  for (const RequestRecord& r : records_) {
+    if (!r.done()) continue;
+    if (fn.valid() && r.fn != fn) continue;
+    out.push_back(ToSeconds(r.Latency()));
+  }
+  return out;
+}
+
+Recorder::Breakdown Recorder::MeanBreakdown(FunctionId fn) const {
+  Breakdown b{0, 0, 0, 0};
+  std::size_t n = 0;
+  for (const RequestRecord& r : records_) {
+    if (!r.done()) continue;
+    if (fn.valid() && r.fn != fn) continue;
+    ++n;
+    b.queue += static_cast<double>(r.queue_time);
+    b.load += static_cast<double>(r.load_time);
+    b.exec += static_cast<double>(r.exec_time);
+    b.transfer += static_cast<double>(r.transfer_time);
+  }
+  if (n) {
+    b.queue /= static_cast<double>(n);
+    b.load /= static_cast<double>(n);
+    b.exec /= static_cast<double>(n);
+    b.transfer /= static_cast<double>(n);
+  }
+  return b;
+}
+
+}  // namespace fluidfaas::metrics

@@ -1,0 +1,181 @@
+// Metrics collection for simulation runs.
+//
+// The recorder is the single sink for (i) per-request lifecycle records —
+// queueing, loading, execution, transfer, completion — and (ii) cluster
+// occupancy signals — per-slice bound/busy intervals, from which GPU time,
+// MIG time, utilization timelines and the keep-alive occupancy study
+// (Figs. 3, 5, 16; Table 6) are derived.
+//
+// Terminology (paper §6):
+//   bound   — a slice is allocated to an instance (occupied), regardless of
+//             whether it is computing. Drives the "occupied" series of
+//             Fig. 5 and the fragmentation analysis.
+//   busy    — a slice is actively executing a stage. Drives "actively
+//             used", MIG time (Σ busy time over slices) and GPU time
+//             (Σ time each GPU has ≥1 busy slice).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "gpu/cluster.h"
+
+namespace fluidfaas::metrics {
+
+struct RequestRecord {
+  RequestId id;
+  FunctionId fn;
+  SimTime arrival = 0;
+  SimTime deadline = 0;
+  SimTime completion = -1;  // -1 while outstanding
+
+  SimDuration queue_time = 0;     // waiting for dispatch + stage queues
+  SimDuration load_time = 0;      // cold/warm model loading on its path
+  SimDuration exec_time = 0;      // on-slice compute
+  SimDuration transfer_time = 0;  // inter-stage hops
+
+  bool done() const { return completion >= 0; }
+  SimDuration Latency() const { return done() ? completion - arrival : -1; }
+  bool SloHit() const { return done() && completion <= deadline; }
+};
+
+class Recorder {
+ public:
+  explicit Recorder(const gpu::Cluster& cluster);
+
+  // --- request lifecycle -------------------------------------------------
+  RequestId NewRequest(FunctionId fn, SimTime arrival, SimTime deadline);
+  RequestRecord& record(RequestId id);
+  const RequestRecord& record(RequestId id) const;
+  void Complete(RequestId id, SimTime now);
+
+  std::size_t total_requests() const { return records_.size(); }
+  std::size_t completed_requests() const { return completed_; }
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+  // --- slice occupancy ---------------------------------------------------
+  void SliceBound(SliceId s, SimTime now);
+  void SliceReleased(SliceId s, SimTime now);
+  void SliceBusy(SliceId s, SimTime now);
+  void SliceIdle(SliceId s, SimTime now);
+
+  /// Register slices created by a runtime repartition
+  /// (gpu::Cluster::RepartitionGpu). Retired ids keep their accumulated
+  /// totals; fresh ids start clean. Also refreshes per-GPU GPC weights.
+  void SyncSlices(const gpu::Cluster& cluster);
+
+  /// Finalize all signals at `end`; call once after the run.
+  void Close(SimTime end);
+
+  // --- derived metrics (valid after Close) --------------------------------
+  /// Fraction of completed requests within their deadline; counts
+  /// never-completed requests as misses when `count_outstanding`.
+  double SloHitRate(bool count_outstanding = true) const;
+
+  /// Completed requests per second over [0, end].
+  double Throughput() const;
+
+  /// Completed requests per second over [0, horizon] — benches pass the
+  /// makespan (last completion), which excludes idle drain time.
+  double ThroughputOver(SimTime horizon) const;
+
+  /// Requests whose completion lies in [0, t].
+  std::size_t CompletedBy(SimTime t) const;
+
+  /// System throughput as the paper reports it: requests completed within
+  /// the trace window, per second of that window.
+  double WindowedThroughput(SimTime window) const;
+
+  /// Σ over slices of busy time (µs) — "MIG time".
+  SimDuration MigTime() const;
+  /// Σ over GPUs of time with >= 1 busy slice — "GPU time".
+  SimDuration GpuTime() const;
+  /// Σ over slices of bound (occupied) time.
+  SimDuration OccupiedMigTime() const;
+
+  /// Busy-GPC totals over time (for utilization = value / total GPCs).
+  const TimeWeightedSignal& busy_gpcs() const { return busy_gpcs_; }
+  const TimeWeightedSignal& bound_gpcs() const { return bound_gpcs_; }
+  /// Number of GPUs with >= 1 busy slice over time.
+  const TimeWeightedSignal& busy_gpus() const { return busy_gpus_; }
+
+  /// Per-GPU occupancy fractions over [0, end] (Fig. 5):
+  /// {occupied fraction, active fraction} per GPU, where fractions weight
+  /// slices by GPC count.
+  struct GpuOccupancy {
+    double occupied;
+    double active;
+  };
+  std::vector<GpuOccupancy> PerGpuOccupancy() const;
+
+  /// Completed-request latencies (seconds), optionally one function only.
+  std::vector<double> LatenciesSeconds(FunctionId fn = FunctionId()) const;
+
+  /// Mean per-request breakdown over completed requests of `fn`
+  /// (or all when invalid id), in µs: {queue, load, exec, transfer}.
+  struct Breakdown {
+    double queue, load, exec, transfer;
+  };
+  Breakdown MeanBreakdown(FunctionId fn = FunctionId()) const;
+
+  /// Per-function SLO hit rate.
+  double SloHitRate(FunctionId fn, bool count_outstanding = true) const;
+
+  /// Per-slice busy/bound totals (µs), indexed by SliceId; valid after
+  /// Close(). Used by the Fig. 3(b) slice-usage bench and diagnostics.
+  struct SliceTotals {
+    GpuId gpu;
+    int gpcs;
+    SimDuration busy;
+    SimDuration bound;
+  };
+  std::vector<SliceTotals> PerSliceTotals() const;
+
+  SimTime end_time() const { return end_; }
+  int total_gpcs() const { return total_gpcs_; }
+  int num_gpus() const { return static_cast<int>(per_gpu_.size()); }
+
+ private:
+  struct SliceInfo {
+    GpuId gpu;
+    int gpcs;
+    bool bound = false;
+    bool busy = false;
+    SimTime bound_since = 0;
+    SimTime busy_since = 0;
+    SimDuration bound_total = 0;
+    SimDuration busy_total = 0;
+  };
+  struct GpuInfo {
+    int busy_slices = 0;
+    int bound_slices = 0;
+    SimTime busy_since = 0;
+    SimDuration busy_total = 0;  // time with >=1 busy slice
+    int gpcs = 0;
+    // GPC-weighted occupancy signals for Fig. 5.
+    TimeWeightedSignal occupied_gpcs;
+    TimeWeightedSignal active_gpcs;
+  };
+
+  std::vector<RequestRecord> records_;
+  std::size_t completed_ = 0;
+
+  std::vector<SliceInfo> slices_;
+  std::vector<GpuInfo> per_gpu_;
+  int total_gpcs_ = 0;
+
+  int busy_gpc_count_ = 0;
+  int bound_gpc_count_ = 0;
+  TimeWeightedSignal busy_gpcs_;
+  TimeWeightedSignal bound_gpcs_;
+  TimeWeightedSignal busy_gpus_;
+  int busy_gpu_count_ = 0;
+
+  SimTime end_ = -1;
+  bool closed_ = false;
+};
+
+}  // namespace fluidfaas::metrics

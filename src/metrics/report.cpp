@@ -1,0 +1,71 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fluidfaas::metrics {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  FFS_CHECK_MSG(cells.size() == header_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << "+" << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " ";
+    }
+    os << "|\n";
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Fmt(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string FmtPercent(double fraction, int decimals) {
+  return Fmt(fraction * 100.0, decimals) + "%";
+}
+
+std::string FmtMillis(double us, int decimals) {
+  return Fmt(us / 1000.0, decimals) + "ms";
+}
+
+}  // namespace fluidfaas::metrics

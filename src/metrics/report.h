@@ -1,0 +1,32 @@
+// Plain-text table and CSV emission helpers shared by the bench binaries,
+// so every figure/table prints in a consistent, diff-friendly format.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace fluidfaas::metrics {
+
+/// Fixed-width ASCII table. Columns are sized to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os = std::cout) const;
+
+  /// Emit as CSV (no alignment, comma-separated, header first).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string Fmt(double v, int decimals = 2);
+std::string FmtPercent(double fraction, int decimals = 1);
+std::string FmtMillis(double us, int decimals = 1);
+
+}  // namespace fluidfaas::metrics

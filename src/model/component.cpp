@@ -1,0 +1,47 @@
+#include "model/component.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fluidfaas::model {
+
+const char* Name(ComponentClass c) {
+  switch (c) {
+    case ComponentClass::kSuperResolution:
+      return "super_resolution";
+    case ComponentClass::kSegmentation:
+      return "segmentation";
+    case ComponentClass::kClassification:
+      return "classification";
+    case ComponentClass::kDeblur:
+      return "deblur";
+    case ComponentClass::kDepthEstimation:
+      return "depth_estimation";
+    case ComponentClass::kBackgroundRemoval:
+      return "background_removal";
+    case ComponentClass::kTokenizer:
+      return "tokenizer";
+    case ComponentClass::kTransformerLayers:
+      return "transformer_layers";
+    case ComponentClass::kDetokenizer:
+      return "detokenizer";
+  }
+  return "?";
+}
+
+SimDuration ComponentSpec::LatencyOnGpcs(int gpcs) const {
+  FFS_CHECK(gpcs >= 1);
+  const double t1 = static_cast<double>(latency_1gpc);
+  const double scale =
+      serial_fraction + (1.0 - serial_fraction) / static_cast<double>(gpcs);
+  return static_cast<SimDuration>(std::llround(t1 * scale));
+}
+
+SimDuration ComponentSpec::ExpectedLatencyOnGpcs(int gpcs) const {
+  return static_cast<SimDuration>(
+      std::llround(static_cast<double>(LatencyOnGpcs(gpcs)) *
+                   exec_probability));
+}
+
+}  // namespace fluidfaas::model

@@ -1,0 +1,49 @@
+// LLM inference as a FluidFaaS function (paper §5.2.3).
+//
+// The paper states that FluidFaaS "seamlessly maps" LLM serving stages —
+// tokenization, model execution, response generation — onto MIG resources.
+// This extension models a decoder-only transformer whose layer stack is
+// split into contiguous groups, each an independent FFS DAG component:
+//
+//   tokenizer -> layer-group 1 -> ... -> layer-group G -> detokenizer
+//
+// Pipeline-parallel layer groups are exactly the structure FluidFaaS's
+// partitioner consumes, and they unlock the headline capability: a model
+// whose weights exceed every MIG profile (34B at fp16 ≈ 68 GB > 40 GB) can
+// still be served on a default-partitioned cluster, because each group fits
+// a fragment. The monolithic baselines cannot host it at all.
+//
+// Memory = weights (2 bytes/param) + KV-cache + activations at the modelled
+// batch; latency = per-token cost × generation length, aggregated into a
+// per-request service time.
+#pragma once
+
+#include "model/app.h"
+
+namespace fluidfaas::model {
+
+enum class LlmSize {
+  k7B,   // 2 layer groups, fits 2g.20gb monolithically
+  k13B,  // 2 layer groups, needs 3g/4g monolithically
+  k34B,  // 4 layer groups, exceeds every profile monolithically on the
+         // default partition (weights alone ~68 GB)
+};
+
+const char* Name(LlmSize size);
+
+struct LlmSpec {
+  LlmSize size;
+  double params_billion;
+  int layer_groups;
+  /// Per-request generation cost on 1 GPC for one layer group.
+  SimDuration group_latency_1gpc;
+  Bytes group_weights;
+  Bytes group_activations;  // KV cache + activations per group
+};
+
+const LlmSpec& SpecFor(LlmSize size);
+
+/// Build the FFS DAG for one LLM service.
+AppDag BuildLlmApp(LlmSize size);
+
+}  // namespace fluidfaas::model

@@ -1,0 +1,30 @@
+// Synthetic application generator: random chains and DAGs with controlled
+// size/latency distributions, for property tests and for exercising the
+// partitioner beyond the paper's k <= 5 applications (scalability bench).
+#pragma once
+
+#include "common/rng.h"
+#include "model/app.h"
+
+namespace fluidfaas::model {
+
+struct SyntheticAppParams {
+  int components = 6;
+  /// Per-component resident memory range.
+  Bytes min_memory = GiB(1);
+  Bytes max_memory = GiB(12);
+  /// Per-component single-GPC latency range.
+  SimDuration min_latency = Millis(20);
+  SimDuration max_latency = Millis(600);
+  /// Probability of an extra skip edge i -> j (j > i+1) per candidate pair.
+  double skip_edge_probability = 0.1;
+  /// Probability a non-first component is a conditional arm (p = 0.5).
+  double branch_probability = 0.1;
+};
+
+/// Build a random (but seeded, hence reproducible) application DAG: a chain
+/// through all components plus optional skip edges, topological by
+/// construction.
+AppDag SyntheticApp(const SyntheticAppParams& params, Rng& rng);
+
+}  // namespace fluidfaas::model

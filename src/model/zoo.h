@@ -1,0 +1,66 @@
+// The model zoo: builders for the six DNN components and the four
+// applications of the paper's evaluation (Tables 4 and 5).
+//
+// Absolute numbers are calibrated, not measured (no A100 here — see
+// DESIGN.md §1): per-component memory and latency are chosen to be plausible
+// for the cited models *and* to reproduce Table 5's feasibility matrix
+// exactly — which monolithic variant fits which MIG profile, and which
+// per-stage split FluidFaaS can use. tests/model_zoo_test.cc asserts that
+// matrix, so any recalibration that would change scheduler-visible structure
+// fails loudly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/app.h"
+#include "model/component.h"
+
+namespace fluidfaas::model {
+
+inline constexpr int kNumApps = 4;
+
+/// Paper names: App 0..3.
+const char* AppName(int app_index);
+
+/// Base (small-variant) profile of one component class.
+struct ComponentBase {
+  ComponentClass cls;
+  Bytes weights;
+  Bytes activations;
+  SimDuration latency_1gpc;
+  double serial_fraction;
+  Bytes output_bytes;
+};
+
+const ComponentBase& BaseProfile(ComponentClass cls);
+
+/// Per-app, per-variant scale factors applied to the base profiles.
+struct VariantScale {
+  double memory;   // multiplies weights, activations, and tensor sizes
+  double latency;  // multiplies latency_1gpc
+};
+
+VariantScale ScaleFor(int app_index, Variant v);
+
+/// Instantiate one component at a given scale. `index` becomes the
+/// ComponentId within its DAG.
+ComponentSpec MakeComponent(ComponentClass cls, const VariantScale& scale,
+                            int index, double exec_probability = 1.0);
+
+/// Build the full DAG of application `app_index` (0..3) at variant `v`:
+///   App 0  image classification      SR -> Seg -> Cls
+///   App 1  depth recognition         Deblur -> SR -> Depth
+///   App 2  background elimination    SR -> Deblur -> BGRemoval
+///   App 3  expanded image class.     Deblur -> (low-res? SR : pass)
+///                                      -> BGRemoval -> Seg -> Cls
+AppDag BuildApp(int app_index, Variant v);
+
+/// Whether the paper's evaluation includes this (app, variant) cell.
+/// App 3 large is excluded (§6: no profile in the testbed can host it).
+bool IncludedInStudy(int app_index, Variant v);
+
+/// All apps at one variant, skipping excluded cells.
+std::vector<AppDag> BuildStudyApps(Variant v);
+
+}  // namespace fluidfaas::model

@@ -1,0 +1,74 @@
+// Tunable constants of the serverless platforms. Defaults encode the
+// paper's numbers where it states them (30% time-sharing utilization
+// threshold, 10-minute cold timeout, SLO scale 1.5) and conventional values
+// elsewhere; every ablation bench overrides exactly one of these.
+#pragma once
+
+#include "common/types.h"
+#include "model/costs.h"
+
+namespace fluidfaas::platform {
+
+struct PlatformConfig {
+  /// SLO latency = slo_scale × solo latency on minimum MIG (§6).
+  double slo_scale = 1.5;
+
+  /// Autoscaler / state-transition scan period.
+  SimDuration autoscale_period = Millis(500);
+
+  /// Instance-utilization threshold separating the exclusive-hot and
+  /// time-sharing states (§5.3: "not actively busy (below 30%)").
+  double hot_threshold = 0.30;
+
+  /// Window over which instance utilization and arrival rates are averaged.
+  SimDuration util_window = Seconds(10.0);
+
+  /// Keep-alive before a warm (CPU-resident) function turns cold (§5.3:
+  /// "no requests for 10 minutes").
+  SimDuration warm_timeout = Minutes(10.0);
+
+  /// Exclusive keep-alive of the baselines: an idle instance holds its MIG
+  /// slice this long after its last request (the policy behind Fig. 5).
+  /// The paper's platforms use 10 minutes against hour-scale traces; the
+  /// default here is scaled to the minutes-long simulated runs so one early
+  /// placement does not starve a function for an entire experiment. The
+  /// Fig. 5 bench restores the 10-minute window on a long trace.
+  SimDuration exclusive_keepalive = Seconds(120.0);
+
+  /// Target headroom for scale-up: add capacity when the recent arrival
+  /// rate exceeds this fraction of deployed capacity (i.e. deploy toward
+  /// rate / factor). Bursty arrivals need substantial headroom to keep
+  /// queueing within the slim SLO slack.
+  double scaleup_load_factor = 0.60;
+
+  /// Maximum pipeline depth considered by the partitioner.
+  int max_stages = 4;
+
+  /// Enable hotness-aware eviction-based time sharing (FluidFaaS §5.3).
+  bool enable_time_sharing = true;
+
+  /// Enable pipeline construction (FluidFaaS §5.2); when false FluidFaaS
+  /// degrades to monolithic-only placement (ablation).
+  bool enable_pipelines = true;
+
+  /// Enable pipeline → non-pipeline migration (§5.3).
+  bool enable_migration = true;
+
+  /// Batched serving (INFless-style): a stage pulls up to max_batch queued
+  /// requests per pass; each extra item adds batch_marginal_cost of the
+  /// single-request time. 1 = no batching (the paper's evaluation setting).
+  int max_batch = 1;
+  double batch_marginal_cost = 0.35;
+
+  /// Log-normal coefficient of variation applied to per-request service
+  /// times (kernel-level variability); 0 disables jitter.
+  double service_jitter_cv = 0.05;
+
+  /// RNG seed for platform-side randomness (jitter).
+  std::uint64_t seed = 42;
+
+  model::TransferCostModel transfer;
+  model::LoadCostModel load;
+};
+
+}  // namespace fluidfaas::platform

@@ -1,0 +1,40 @@
+#include "platform/function.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fluidfaas::platform {
+
+FunctionSpec MakeFunctionSpec(FunctionId id, int app_index, model::Variant v,
+                              model::AppDag dag, double slo_scale,
+                              int max_stages) {
+  FFS_CHECK(slo_scale >= 1.0);
+  FunctionSpec f;
+  f.id = id;
+  f.app_index = app_index;
+  f.variant = v;
+  f.name = dag.name();
+  f.total_memory = dag.TotalMemory();
+  f.min_monolithic = core::MinMonolithicProfile(dag);
+  f.ranked_pipelines = core::EnumerateRankedPipelines(dag, max_stages);
+  FFS_CHECK_MSG(!f.ranked_pipelines.empty(),
+                "no feasible pipeline for " + f.name);
+
+  // "t": solo time with the minimum MIG instances of Table 5 (§6). The
+  // table's minimum is the *pipelined* minimum — the smallest slice class
+  // on which the variant can run at all — so t is the end-to-end compute
+  // latency with every component on that slice class. One t (and hence one
+  // SLO) per function, shared by all compared systems.
+  auto min_piped = core::MinPipelinedProfile(dag, max_stages);
+  const gpu::MigProfile t_profile =
+      min_piped ? *min_piped
+                : f.min_monolithic.value_or(gpu::MigProfile::k7g80gb);
+  f.base_latency = dag.TotalLatencyOnGpcs(gpu::Gpcs(t_profile));
+  f.slo = static_cast<SimDuration>(
+      std::llround(static_cast<double>(f.base_latency) * slo_scale));
+  f.dag = std::move(dag);
+  return f;
+}
+
+}  // namespace fluidfaas::platform

@@ -1,0 +1,46 @@
+// Registered serverless functions: the unit users invoke.
+//
+// A FunctionSpec bundles the application DAG with everything the schedulers
+// derive offline: the SLO latency (slo_scale × t, where t is the solo run
+// time on the minimum monolithic MIG — paper §6), the monolithic memory
+// demand, and the CV-ranked pipeline candidates (computed "once and offline
+// for each application", §5.2.2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "gpu/mig_profile.h"
+#include "model/app.h"
+
+namespace fluidfaas::platform {
+
+struct FunctionSpec {
+  FunctionId id;
+  std::string name;
+  int app_index = -1;
+  model::Variant variant = model::Variant::kSmall;
+  model::AppDag dag;
+
+  /// Solo end-to-end time on the minimum monolithic profile ("t" in §6).
+  SimDuration base_latency = 0;
+  /// SLO latency = slo_scale * base_latency.
+  SimDuration slo = 0;
+
+  Bytes total_memory = 0;
+  std::optional<gpu::MigProfile> min_monolithic;
+
+  /// CV-ranked pipeline candidates (offline). candidates[0] is the
+  /// monolithic (single-stage) plan when it is feasible.
+  std::vector<core::PipelineCandidate> ranked_pipelines;
+};
+
+/// Derive a FunctionSpec from an application DAG.
+/// `max_stages` bounds pipeline depth (default matches the deepest DAG).
+FunctionSpec MakeFunctionSpec(FunctionId id, int app_index, model::Variant v,
+                              model::AppDag dag, double slo_scale,
+                              int max_stages = 4);
+
+}  // namespace fluidfaas::platform

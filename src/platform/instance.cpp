@@ -1,0 +1,228 @@
+#include "platform/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fluidfaas::platform {
+
+const char* Name(InstanceState s) {
+  switch (s) {
+    case InstanceState::kLoading:
+      return "loading";
+    case InstanceState::kReady:
+      return "ready";
+    case InstanceState::kDraining:
+      return "draining";
+    case InstanceState::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+Instance::Instance(InstanceId id, FunctionId fn, const model::AppDag& dag,
+                   core::PipelinePlan plan, sim::Simulator& sim,
+                   metrics::Recorder& recorder, CompletionFn on_complete)
+    : id_(id),
+      fn_(fn),
+      dag_(dag),
+      plan_(std::move(plan)),
+      sim_(sim),
+      recorder_(recorder),
+      on_complete_(std::move(on_complete)) {
+  FFS_CHECK(!plan_.stages.empty());
+  stages_.reserve(plan_.stages.size());
+  for (const core::StageBinding& b : plan_.stages) {
+    Stage s;
+    s.binding = b;
+    stages_.push_back(std::move(s));
+  }
+  last_used_ = sim_.Now();
+}
+
+void Instance::Launch(SimDuration load_time) {
+  FFS_CHECK(state_ == InstanceState::kLoading);
+  ready_at_ = sim_.Now() + load_time;
+  if (load_time == 0) {
+    state_ = InstanceState::kReady;
+    return;
+  }
+  sim_.At(ready_at_, [this] {
+    if (state_ == InstanceState::kRetired) return;
+    if (state_ == InstanceState::kLoading) state_ = InstanceState::kReady;
+    // Also kick stages when draining: requests admitted before the drain
+    // must still be served.
+    for (std::size_t i = 0; i < stages_.size(); ++i) TryStart(i);
+  });
+}
+
+void Instance::NoteActiveTransition(bool active_now) {
+  if (active_now) {
+    active_since_ = sim_.Now();
+  } else {
+    active_total_ += sim_.Now() - active_since_;
+  }
+}
+
+void Instance::Enqueue(RequestId rid, double jitter) {
+  FFS_CHECK_MSG(CanAdmit(), "enqueue on non-admitting instance");
+  FFS_CHECK(jitter > 0.0);
+  ++outstanding_;
+  last_used_ = sim_.Now();
+  stages_.front().queue.push_back(PendingItem{rid, jitter, sim_.Now()});
+  TryStart(0);
+}
+
+void Instance::BeginDrain() {
+  if (state_ == InstanceState::kLoading || state_ == InstanceState::kReady) {
+    state_ = InstanceState::kDraining;
+  }
+}
+
+void Instance::MarkRetired() {
+  FFS_CHECK_MSG(Idle(), "retiring an instance with in-flight requests");
+  state_ = InstanceState::kRetired;
+}
+
+double Instance::CapacityRps() const {
+  const SimDuration b = plan_.BottleneckTime();
+  return b > 0 ? 1e6 / static_cast<double>(b) : 0.0;
+}
+
+SimTime Instance::EstimateCompletion(SimTime now) const {
+  const SimTime start = std::max(now, ready_at_);
+  return start +
+         static_cast<SimDuration>(outstanding_) * plan_.BottleneckTime() +
+         ServiceLatency();
+}
+
+bool Instance::AdmitWithinBound(SimTime now, SimTime deadline,
+                                SimDuration slo) const {
+  const SimDuration allowance = std::max(slo, 2 * ServiceLatency());
+  return EstimateCompletion(now) <= std::max(deadline, now) + allowance;
+}
+
+SimDuration Instance::ActiveTotal(SimTime now) const {
+  SimDuration t = active_total_;
+  if (busy_stages_ > 0) t += now - active_since_;
+  return t;
+}
+
+void Instance::SetBatching(int max_batch, double marginal_cost) {
+  FFS_CHECK(max_batch >= 1);
+  FFS_CHECK(marginal_cost >= 0.0 && marginal_cost <= 1.0);
+  max_batch_ = max_batch;
+  batch_marginal_ = marginal_cost;
+}
+
+void Instance::TryStart(std::size_t stage_idx) {
+  Stage& st = stages_[stage_idx];
+  if (st.busy || st.queue.empty()) return;
+  if (sim_.Now() < ready_at_) return;  // weights still loading
+  if (state_ == InstanceState::kRetired) return;
+  if (max_batch_ <= 1) {
+    StartPass(stage_idx);
+    return;
+  }
+  // Batched: defer one event-queue turn so same-instant arrivals join.
+  if (st.pass_scheduled) return;
+  st.pass_scheduled = true;
+  sim_.After(0, [this, stage_idx] {
+    stages_[stage_idx].pass_scheduled = false;
+    Stage& s = stages_[stage_idx];
+    if (s.busy || s.queue.empty()) return;
+    if (sim_.Now() < ready_at_) return;
+    if (state_ == InstanceState::kRetired) return;
+    StartPass(stage_idx);
+  });
+}
+
+void Instance::StartPass(std::size_t stage_idx) {
+  Stage& st = stages_[stage_idx];
+  const SimTime now = sim_.Now();
+  std::vector<PendingItem> batch;
+  double jitter_sum = 0.0;
+  while (!st.queue.empty() &&
+         batch.size() < static_cast<std::size_t>(max_batch_)) {
+    PendingItem item = st.queue.front();
+    st.queue.pop_front();
+
+    // Attribute the wait in this stage's queue: stage-0 waits that overlap
+    // the loading interval are load time, everything else is queueing.
+    metrics::RequestRecord& rec = recorder_.record(item.rid);
+    SimDuration wait = now - item.enqueued;
+    if (stage_idx == 0 && ready_at_ > item.enqueued) {
+      const SimDuration load_part = std::min(now, ready_at_) - item.enqueued;
+      rec.load_time += load_part;
+      wait -= load_part;
+    }
+    rec.queue_time += wait;
+    jitter_sum += item.jitter;
+    batch.push_back(item);
+  }
+  const auto n = static_cast<double>(batch.size());
+  const double batch_factor = 1.0 + (n - 1.0) * batch_marginal_;
+  const SimDuration service = static_cast<SimDuration>(std::llround(
+      static_cast<double>(st.binding.exec_time) * (jitter_sum / n) *
+      batch_factor));
+  // Execution time is attributed per request as its share of the pass.
+  const SimDuration per_item = static_cast<SimDuration>(
+      std::llround(static_cast<double>(service) / n));
+  for (const PendingItem& item : batch) {
+    recorder_.record(item.rid).exec_time += per_item;
+  }
+
+  st.busy = true;
+  if (busy_stages_++ == 0) NoteActiveTransition(true);
+  recorder_.SliceBusy(st.binding.slice, now);
+  sim_.After(service, [this, stage_idx, batch = std::move(batch)] {
+    Stage& s = stages_[stage_idx];
+    recorder_.SliceIdle(s.binding.slice, sim_.Now());
+    s.busy = false;
+    if (--busy_stages_ == 0) NoteActiveTransition(false);
+    OnStageDone(stage_idx, batch);
+    TryStart(stage_idx);
+  });
+}
+
+void Instance::OnStageDone(std::size_t stage_idx,
+                           const std::vector<PendingItem>& batch) {
+  const SimTime now = sim_.Now();
+  if (stage_idx + 1 == stages_.size()) {
+    for (const PendingItem& item : batch) {
+      FFS_CHECK(outstanding_ > 0);
+      --outstanding_;
+      last_used_ = now;
+      on_complete_(item.rid);
+    }
+    return;
+  }
+  // The whole batch crosses the hop in one transfer; charge each request
+  // its share.
+  const SimDuration hop = stages_[stage_idx].binding.hop_out;
+  const SimDuration per_item = static_cast<SimDuration>(std::llround(
+      static_cast<double>(hop) / static_cast<double>(batch.size())));
+  for (const PendingItem& item : batch) {
+    recorder_.record(item.rid).transfer_time += per_item;
+  }
+  const std::size_t next = stage_idx + 1;
+  sim_.After(hop, [this, next, batch] {
+    for (const PendingItem& item : batch) {
+      stages_[next].queue.push_back(
+          PendingItem{item.rid, item.jitter, sim_.Now()});
+    }
+    TryStart(next);
+  });
+}
+
+std::string Instance::Describe() const {
+  std::ostringstream os;
+  os << "instance " << id_.value << " fn " << fn_.value << " ["
+     << Name(state_) << "] " << plan_.ToString() << " outstanding "
+     << outstanding_;
+  return os.str();
+}
+
+}  // namespace fluidfaas::platform

@@ -1,0 +1,152 @@
+// A running function instance: one or more pipeline stages, each bound to a
+// MIG slice and modelled as a single-server FIFO queue.
+//
+// This is the simulation counterpart of Listing 1's runtime — one process
+// per stage pinned to its slice, tensors handed to the next stage through
+// host shared memory (the hop_out delay), eviction/termination signalled by
+// the invoker. Requests flow stage by stage; a stage starts its next request
+// as soon as it finishes the current one, so pipeline overlap emerges
+// naturally from the event order.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/pipeline.h"
+#include "metrics/recorder.h"
+#include "sim/simulator.h"
+
+namespace fluidfaas::platform {
+
+enum class InstanceState {
+  kLoading,   // weights in flight to the slice(s)
+  kReady,     // serving
+  kDraining,  // finishing in-flight requests; no new admissions
+  kRetired,   // slices released
+};
+
+const char* Name(InstanceState s);
+
+class Instance {
+ public:
+  /// Invoked when a request leaves the last stage.
+  using CompletionFn = std::function<void(RequestId)>;
+
+  Instance(InstanceId id, FunctionId fn, const model::AppDag& dag,
+           core::PipelinePlan plan, sim::Simulator& sim,
+           metrics::Recorder& recorder, CompletionFn on_complete);
+
+  InstanceId id() const { return id_; }
+  FunctionId function() const { return fn_; }
+  const core::PipelinePlan& plan() const { return plan_; }
+  InstanceState state() const { return state_; }
+  bool IsPipelined() const { return plan_.num_stages() > 1; }
+
+  /// Begin serving after `load_time` (model loading). Requests may be
+  /// enqueued immediately; they wait and their records charge the wait to
+  /// load time.
+  void Launch(SimDuration load_time);
+
+  /// Enable batched serving: a stage pulls up to `max_batch` queued
+  /// requests per pass; the pass costs
+  ///   exec_time x (1 + (batch-1) x marginal_cost),
+  /// i.e. each extra item adds only the marginal fraction (INFless-style
+  /// batching). Default is max_batch = 1 (no batching).
+  void SetBatching(int max_batch, double marginal_cost);
+  int max_batch() const { return max_batch_; }
+
+  /// Admit a request. `jitter` scales this request's service times
+  /// (sampled by the platform; 1.0 = nominal). Only valid in kLoading /
+  /// kReady states.
+  void Enqueue(RequestId rid, double jitter);
+
+  /// Stop admitting; the owner retires the instance once Idle().
+  void BeginDrain();
+
+  /// Mark retired (owner releases the slices).
+  void MarkRetired();
+
+  bool Idle() const { return outstanding_ == 0; }
+  int outstanding() const { return outstanding_; }
+  bool CanAdmit() const {
+    return state_ == InstanceState::kLoading || state_ == InstanceState::kReady;
+  }
+
+  /// Steady-state service rate bound (requests/s).
+  double CapacityRps() const;
+
+  /// Estimated completion time of a request admitted now.
+  SimTime EstimateCompletion(SimTime now) const;
+
+  /// Shared admission policy: accept while the estimate stays within one
+  /// `slo` (or twice the idle service latency, whichever is larger) past
+  /// the deadline — past `now` for already-late requests. The service-
+  /// latency floor is what lets a pipelined instance keep several requests
+  /// in flight (stage overlap); a pure SLO bound would cap pipelines at one
+  /// request whenever the SLO slack is below the bottleneck time. Overload
+  /// beyond the bound belongs in the platform's EDF-ordered pending set,
+  /// not in FIFO instance queues.
+  bool AdmitWithinBound(SimTime now, SimTime deadline, SimDuration slo) const;
+
+  /// Idle-pipeline end-to-end latency (for lowest-latency-first routing).
+  SimDuration ServiceLatency() const { return plan_.EndToEndLatency(); }
+
+  SimTime last_used() const { return last_used_; }
+  SimTime ready_at() const { return ready_at_; }
+
+  /// Cumulative time with at least one stage computing, up to `now` —
+  /// loading and queue waits do not count as utilization. The autoscaler
+  /// differentiates successive snapshots to get windowed utilization.
+  SimDuration ActiveTotal(SimTime now) const;
+
+  std::string Describe() const;
+
+ private:
+  struct PendingItem {
+    RequestId rid;
+    double jitter;
+    SimTime enqueued;  // when it entered this stage's queue
+  };
+  struct Stage {
+    core::StageBinding binding;
+    std::deque<PendingItem> queue;
+    bool busy = false;
+    bool pass_scheduled = false;  // batching: a pass-start event is queued
+  };
+
+  /// Schedule a service pass. With batching enabled the pass starts one
+  /// event-queue turn later so same-instant arrivals coalesce into one
+  /// batch; without batching it starts inline.
+  void TryStart(std::size_t stage_idx);
+  void StartPass(std::size_t stage_idx);
+  void OnStageDone(std::size_t stage_idx,
+                   const std::vector<PendingItem>& batch);
+  void NoteActiveTransition(bool active_now);
+
+  InstanceId id_;
+  FunctionId fn_;
+  const model::AppDag& dag_;
+  core::PipelinePlan plan_;
+  sim::Simulator& sim_;
+  metrics::Recorder& recorder_;
+  CompletionFn on_complete_;
+
+  InstanceState state_ = InstanceState::kLoading;
+  SimTime ready_at_ = 0;
+  SimTime last_used_ = 0;
+  int outstanding_ = 0;
+  int busy_stages_ = 0;
+  int max_batch_ = 1;
+  double batch_marginal_ = 0.35;
+
+  // Active-time integrator for utilization windows.
+  SimDuration active_total_ = 0;
+  SimTime active_since_ = 0;
+
+  std::vector<Stage> stages_;
+};
+
+}  // namespace fluidfaas::platform

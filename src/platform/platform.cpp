@@ -1,0 +1,245 @@
+#include "platform/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace fluidfaas::platform {
+
+Platform::Platform(sim::Simulator& sim, gpu::Cluster& cluster,
+                   metrics::Recorder& recorder,
+                   std::vector<FunctionSpec> functions, PlatformConfig config)
+    : functions_(std::move(functions)),
+      sim_(sim),
+      cluster_(cluster),
+      recorder_(recorder),
+      config_(config),
+      rng_(config.seed) {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    FFS_CHECK_MSG(functions_[i].id ==
+                      FunctionId(static_cast<std::int32_t>(i)),
+                  "function ids must be dense and ordered");
+  }
+}
+
+Platform::~Platform() = default;
+
+void Platform::Start() {
+  FFS_CHECK_MSG(autoscale_ == nullptr, "Start() called twice");
+  last_tick_ = sim_.Now();
+  autoscale_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.autoscale_period, [this] {
+        // Update arrival-rate EWMAs before the subclass scan.
+        const double period_s = ToSeconds(config_.autoscale_period);
+        for (auto& [fn, st] : arrivals_) {
+          const double inst_rate =
+              static_cast<double>(st.count_this_tick) / period_s;
+          st.rate = 0.5 * st.rate + 0.5 * inst_rate;
+          // A geometric decay never reaches zero; clamp so a long-idle
+          // function stops looking like residual demand to the scalers.
+          if (st.rate < 1e-6) st.rate = 0.0;
+          st.count_this_tick = 0;
+        }
+        // Refresh smoothed utilizations; the smoothing constant gives the
+        // EWMA an effective memory of about one util_window.
+        const double alpha =
+            std::min(1.0, static_cast<double>(config_.autoscale_period) /
+                              static_cast<double>(config_.util_window));
+        for (const auto& inst : instances_) {
+          if (inst->state() == InstanceState::kRetired) continue;
+          double& ewma = util_ewma_[inst->id()];
+          ewma = (1.0 - alpha) * ewma + alpha * TickUtilization(inst.get());
+        }
+        AutoscaleTick();
+        DispatchPending();
+        last_tick_ = sim_.Now();
+      });
+  autoscale_->Start(sim_.Now() + config_.autoscale_period);
+}
+
+void Platform::Stop() {
+  if (autoscale_) autoscale_->Stop();
+}
+
+const FunctionSpec& Platform::function(FunctionId fn) const {
+  FFS_CHECK(fn.valid() &&
+            static_cast<std::size_t>(fn.value) < functions_.size());
+  return functions_[static_cast<std::size_t>(fn.value)];
+}
+
+RequestId Platform::Submit(FunctionId fn) {
+  const FunctionSpec& spec = function(fn);
+  const SimTime now = sim_.Now();
+  const RequestId rid = recorder_.NewRequest(fn, now, now + spec.slo);
+  jitter_of_[rid] = SampleJitter();
+  arrivals_[fn].count_this_tick += 1;
+  if (!Route(rid, fn)) MakePending(rid, fn);
+  return rid;
+}
+
+double Platform::JitterOf(RequestId rid) const {
+  auto it = jitter_of_.find(rid);
+  return it == jitter_of_.end() ? 1.0 : it->second;
+}
+
+double Platform::SampleJitter() {
+  if (config_.service_jitter_cv <= 0.0) return 1.0;
+  // Log-normal with unit mean: sigma^2 = ln(1 + cv^2), mu = -sigma^2/2.
+  const double s2 = std::log(1.0 + config_.service_jitter_cv *
+                                       config_.service_jitter_cv);
+  return rng_.LogNormal(-0.5 * s2, std::sqrt(s2));
+}
+
+std::vector<Instance*> Platform::InstancesOf(FunctionId fn) const {
+  std::vector<Instance*> out;
+  auto it = by_function_.find(fn);
+  if (it == by_function_.end()) return out;
+  for (Instance* inst : it->second) {
+    if (inst->state() != InstanceState::kRetired) out.push_back(inst);
+  }
+  return out;
+}
+
+std::size_t Platform::PendingCount() const { return pending_.size(); }
+
+Instance* Platform::LaunchInstance(const FunctionSpec& fn,
+                                   core::PipelinePlan plan, bool warm,
+                                   SimDuration extra_load_delay) {
+  const InstanceId iid(next_instance_id_++);
+  const SimTime now = sim_.Now();
+
+  // Stages load in parallel (one process per slice); the instance is ready
+  // when the largest stage finishes loading.
+  Bytes max_stage_weights = 0;
+  for (const core::StageBinding& s : plan.stages) {
+    max_stage_weights = std::max(max_stage_weights, s.plan.weights);
+  }
+  const SimDuration load =
+      extra_load_delay + (warm ? config_.load.WarmLoad(max_stage_weights)
+                               : config_.load.ColdLoad(max_stage_weights));
+
+  for (const core::StageBinding& s : plan.stages) {
+    cluster_.Bind(s.slice, iid);
+    recorder_.SliceBound(s.slice, now);
+  }
+
+  auto inst = std::make_unique<Instance>(
+      iid, fn.id, fn.dag, std::move(plan), sim_, recorder_,
+      [this](RequestId rid) { HandleCompletion(rid); });
+  Instance* raw = inst.get();
+  instances_.push_back(std::move(inst));
+  by_function_[fn.id].push_back(raw);
+  raw->SetBatching(config_.max_batch, config_.batch_marginal_cost);
+  raw->Launch(load);
+  FFS_LOG_DEBUG("platform") << name() << " launch " << raw->Describe()
+                            << (warm ? " (warm " : " (cold ")
+                            << ToMillis(load) << "ms load)";
+  return raw;
+}
+
+void Platform::RetireInstance(Instance* inst) {
+  FFS_CHECK(inst->state() != InstanceState::kRetired);
+  FFS_CHECK_MSG(inst->Idle(), "retiring a busy instance");
+  const SimTime now = sim_.Now();
+  for (const core::StageBinding& s : inst->plan().stages) {
+    cluster_.Release(s.slice, inst->id());
+    recorder_.SliceReleased(s.slice, now);
+  }
+  inst->MarkRetired();
+  TouchWarm(inst->function());
+  FFS_LOG_DEBUG("platform") << name() << " retire " << inst->Describe();
+}
+
+bool Platform::DrainOrRetire(Instance* inst) {
+  if (inst->Idle()) {
+    RetireInstance(inst);
+    return true;
+  }
+  inst->BeginDrain();
+  return false;
+}
+
+bool Platform::IsWarm(FunctionId fn) const {
+  auto it = warm_.find(fn);
+  return it != warm_.end() && it->second.warm &&
+         it->second.expires > sim_.Now();
+}
+
+SimDuration Platform::LoadTime(FunctionId fn, Bytes weights) const {
+  return IsWarm(fn) ? config_.load.WarmLoad(weights)
+                    : config_.load.ColdLoad(weights);
+}
+
+void Platform::TouchWarm(FunctionId fn) {
+  WarmState& w = warm_[fn];
+  w.warm = true;
+  w.expires = sim_.Now() + config_.warm_timeout;
+}
+
+double Platform::ArrivalRate(FunctionId fn) const {
+  auto it = arrivals_.find(fn);
+  return it == arrivals_.end() ? 0.0 : it->second.rate;
+}
+
+double Platform::TickUtilization(Instance* inst) {
+  const SimTime now = sim_.Now();
+  const SimDuration total = inst->ActiveTotal(now);
+  SimDuration& prev = last_active_snapshot_[inst->id()];
+  const SimDuration window = now - last_tick_;
+  const SimDuration delta = total - prev;
+  prev = total;
+  if (window <= 0) return 0.0;
+  return std::clamp(static_cast<double>(delta) / static_cast<double>(window),
+                    0.0, 1.0);
+}
+
+double Platform::UtilizationOf(const Instance* inst) const {
+  auto it = util_ewma_.find(inst->id());
+  return it == util_ewma_.end() ? 0.0 : it->second;
+}
+
+void Platform::MakePending(RequestId rid, FunctionId fn) {
+  const metrics::RequestRecord& rec = recorder_.record(rid);
+  const FunctionSpec& spec = function(fn);
+  // Adjusted deadline: deadline − estimated execution − load time (§5.3).
+  const SimDuration est_exec = spec.base_latency;
+  const SimDuration est_load =
+      IsWarm(fn) ? config_.load.WarmLoad(spec.dag.TotalMemory() / 2) : 0;
+  pending_.emplace(rec.deadline - est_exec - est_load,
+                   std::make_pair(rid, fn));
+}
+
+void Platform::DispatchPending() {
+  // Requests are tried in ascending adjusted-deadline order; the ones that
+  // still cannot be placed stay pending.
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    const auto [rid, fn] = it->second;
+    if (Route(rid, fn)) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Platform::HandleCompletion(RequestId rid) {
+  recorder_.Complete(rid, sim_.Now());
+  const FunctionId fn = recorder_.record(rid).fn;
+  jitter_of_.erase(rid);
+  OnCompleted(rid, fn);
+  DispatchPending();
+}
+
+void Platform::ExpireIdleInstances(SimDuration keepalive) {
+  const SimTime now = sim_.Now();
+  for (const auto& inst : instances_) {
+    if (inst->state() != InstanceState::kReady) continue;
+    if (!inst->Idle()) continue;
+    if (now - inst->last_used() >= keepalive) RetireInstance(inst.get());
+  }
+}
+
+}  // namespace fluidfaas::platform

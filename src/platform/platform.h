@@ -1,0 +1,171 @@
+// Serverless platform base: the shared machinery of FluidFaaS and the two
+// baselines — function registry, request intake, instance lifecycle
+// (slice binding through the Cluster so strong isolation is enforced),
+// warm-weights tracking, and the periodic autoscale scan.
+//
+// Subclasses implement Route() (where a new request goes) and
+// AutoscaleTick() (scaling and state transitions); everything else —
+// launching instances from a PipelinePlan, retiring them, load-cost
+// selection (cold vs warm), per-function arrival statistics — lives here.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpu/cluster.h"
+#include "metrics/recorder.h"
+#include "platform/config.h"
+#include "platform/function.h"
+#include "platform/instance.h"
+#include "sim/simulator.h"
+
+namespace fluidfaas::platform {
+
+class Platform {
+ public:
+  Platform(sim::Simulator& sim, gpu::Cluster& cluster,
+           metrics::Recorder& recorder, std::vector<FunctionSpec> functions,
+           PlatformConfig config);
+  virtual ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Start the autoscale loop. Call once before the first Submit.
+  void Start();
+
+  /// Stop periodic work (lets the event queue drain at the end of a run).
+  void Stop();
+
+  /// Invoke function `fn` now. Returns the request id.
+  RequestId Submit(FunctionId fn);
+
+  const FunctionSpec& function(FunctionId fn) const;
+  const std::vector<FunctionSpec>& functions() const { return functions_; }
+
+  sim::Simulator& simulator() const { return sim_; }
+  gpu::Cluster& cluster() const { return cluster_; }
+  metrics::Recorder& recorder() const { return recorder_; }
+  const PlatformConfig& config() const { return config_; }
+
+  /// Live (non-retired) instances of a function.
+  std::vector<Instance*> InstancesOf(FunctionId fn) const;
+
+  /// Number of requests neither completed nor admitted to an instance.
+  std::size_t PendingCount() const;
+
+ protected:
+  /// Route a newly arrived (or re-dispatched) request; return true when it
+  /// was admitted to an instance, false to leave it pending.
+  virtual bool Route(RequestId rid, FunctionId fn) = 0;
+
+  virtual void AutoscaleTick() = 0;
+
+  /// Called after a request completes, before pending re-dispatch; lets
+  /// subclasses update bookkeeping.
+  virtual void OnCompleted(RequestId rid, FunctionId fn) { (void)rid; (void)fn; }
+
+  // -- shared helpers -------------------------------------------------------
+
+  /// Bind the plan's slices, create the instance, and start loading.
+  /// `warm` selects the warm- vs cold-load path for the weight bytes;
+  /// `extra_load_delay` serializes in front of the load (e.g. the D2H
+  /// checkpoint of an instance just evicted from the target slice).
+  Instance* LaunchInstance(const FunctionSpec& fn, core::PipelinePlan plan,
+                           bool warm, SimDuration extra_load_delay = 0);
+
+  /// Release slices and retire. The instance must be idle.
+  void RetireInstance(Instance* inst);
+
+  /// Drain, or retire immediately when idle. Returns true if retired now.
+  bool DrainOrRetire(Instance* inst);
+
+  /// True if the function's weights are warm in CPU memory.
+  bool IsWarm(FunctionId fn) const;
+  /// Load duration for `weights` bytes of fn, by its warm/cold status.
+  SimDuration LoadTime(FunctionId fn, Bytes weights) const;
+  /// Note that fn's weights are now in CPU memory (refreshes the 10-minute
+  /// warm window).
+  void TouchWarm(FunctionId fn);
+
+  /// Recent arrival rate of fn (requests/s, EWMA over autoscale ticks).
+  double ArrivalRate(FunctionId fn) const;
+
+  /// Utilization of an instance since the previous tick (compute-busy
+  /// fraction of the tick).
+  double TickUtilization(Instance* inst);
+
+  /// Smoothed utilization over roughly util_window: an EWMA of tick
+  /// utilizations, refreshed for every live instance at the start of each
+  /// autoscale tick. The hotness signal behind the Fig. 8 transitions —
+  /// a single sparse request does not flip an instance exclusive-hot.
+  double UtilizationOf(const Instance* inst) const;
+
+  /// Add to the pending set ordered by adjusted deadline
+  /// (deadline − estimated execution − load), per §5.3's request routing.
+  void MakePending(RequestId rid, FunctionId fn);
+
+  /// Re-dispatch pending requests in priority order. Called on completions
+  /// and each tick.
+  void DispatchPending();
+
+  /// Per-request service-time jitter factor.
+  double SampleJitter();
+
+  /// Jitter factor assigned to an outstanding request at Submit().
+  double JitterOf(RequestId rid) const;
+
+  /// Retire instances that have been idle past the exclusive keep-alive
+  /// (baseline policy; FluidFaaS overrides state transitions instead).
+  void ExpireIdleInstances(SimDuration keepalive);
+
+  std::vector<FunctionSpec> functions_;
+
+ private:
+  void HandleCompletion(RequestId rid);
+
+  sim::Simulator& sim_;
+  gpu::Cluster& cluster_;
+  metrics::Recorder& recorder_;
+  PlatformConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<sim::PeriodicTask> autoscale_;
+
+  // All instances ever created (stable storage; retired ones stay to keep
+  // in-flight callbacks safe).
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::unordered_map<FunctionId, std::vector<Instance*>> by_function_;
+
+  struct WarmState {
+    bool warm = false;
+    SimTime expires = 0;
+  };
+  std::unordered_map<FunctionId, WarmState> warm_;
+
+  struct ArrivalStats {
+    double rate = 0.0;  // EWMA requests/s
+    int count_this_tick = 0;
+  };
+  std::unordered_map<FunctionId, ArrivalStats> arrivals_;
+
+  std::unordered_map<InstanceId, SimDuration> last_active_snapshot_;
+  std::unordered_map<InstanceId, double> util_ewma_;
+  SimTime last_tick_ = 0;
+
+  // Pending requests ordered by adjusted deadline.
+  std::multimap<SimTime, std::pair<RequestId, FunctionId>> pending_;
+  std::unordered_map<RequestId, double> jitter_of_;
+
+  std::int32_t next_instance_id_ = 0;
+};
+
+}  // namespace fluidfaas::platform

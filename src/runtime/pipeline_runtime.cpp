@@ -1,0 +1,148 @@
+#include "runtime/pipeline_runtime.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace fluidfaas::runtime {
+
+PipelineRuntime::PipelineRuntime(std::vector<StageConfig> stages,
+                                 std::size_t ring_capacity)
+    : stages_(std::move(stages)) {
+  FFS_CHECK_MSG(!stages_.empty(), "pipeline needs at least one stage");
+  for (std::size_t i = 0; i <= stages_.size(); ++i) {
+    channels_.push_back(std::make_unique<SpscByteRing>(ring_capacity));
+  }
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    eviction_.push_back(std::make_unique<std::atomic<bool>>(false));
+    processed_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+PipelineRuntime::~PipelineRuntime() {
+  Shutdown();
+  Join();
+}
+
+void PipelineRuntime::Start() {
+  FFS_CHECK_MSG(!started_, "Start() called twice");
+  started_ = true;
+  workers_.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+std::vector<std::byte> PipelineRuntime::EncodeFrame(
+    std::uint64_t rid, std::span<const std::byte> data) {
+  std::vector<std::byte> frame(sizeof(rid) + data.size());
+  std::memcpy(frame.data(), &rid, sizeof(rid));
+  if (!data.empty()) {
+    std::memcpy(frame.data() + sizeof(rid), data.data(), data.size());
+  }
+  return frame;
+}
+
+TensorFrame PipelineRuntime::DecodeFrame(std::vector<std::byte> bytes) {
+  FFS_CHECK(bytes.size() >= sizeof(std::uint64_t));
+  TensorFrame f;
+  std::memcpy(&f.request_id, bytes.data(), sizeof(f.request_id));
+  f.payload.assign(bytes.begin() + sizeof(f.request_id), bytes.end());
+  return f;
+}
+
+bool PipelineRuntime::Submit(std::uint64_t request_id,
+                             std::span<const std::byte> input) {
+  FFS_CHECK_MSG(started_, "Start() the pipeline first");
+  const std::vector<std::byte> frame = EncodeFrame(request_id, input);
+  return channels_.front()->Push(frame.data(),
+                                 static_cast<std::uint32_t>(frame.size()));
+}
+
+std::optional<TensorFrame> PipelineRuntime::NextResult() {
+  auto bytes = channels_.back()->Pop();
+  if (!bytes) return std::nullopt;
+  return DecodeFrame(std::move(*bytes));
+}
+
+void PipelineRuntime::RequestEviction(std::size_t stage) {
+  FFS_CHECK(stage < stages_.size());
+  eviction_[stage]->store(true, std::memory_order_release);
+  // Unblock the worker if it sleeps on an empty input ring.
+  channels_[stage]->Close();
+}
+
+bool PipelineRuntime::EvictionRequested(std::size_t stage) const {
+  FFS_CHECK(stage < stages_.size());
+  return eviction_[stage]->load(std::memory_order_acquire);
+}
+
+void PipelineRuntime::Shutdown() { channels_.front()->Close(); }
+
+void PipelineRuntime::Join() {
+  if (joined_) return;
+  joined_ = true;
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // No further producer exists for the result channel.
+  channels_.back()->Close();
+}
+
+std::uint64_t PipelineRuntime::processed(std::size_t stage) const {
+  FFS_CHECK(stage < stages_.size());
+  return processed_[stage]->load(std::memory_order_relaxed);
+}
+
+void PipelineRuntime::WorkerLoop(std::size_t stage) {
+  SpscByteRing& in = *channels_[stage];
+  SpscByteRing& out = *channels_[stage + 1];
+  while (true) {
+    if (EvictionRequested(stage)) break;  // Listing 1: if self.eviction[s]
+    auto bytes = in.Pop();
+    if (!bytes) break;  // upstream closed and drained
+    if (EvictionRequested(stage)) break;
+    TensorFrame frame = DecodeFrame(std::move(*bytes));
+    std::vector<std::byte> output =
+        stages_[stage].run(frame.request_id, frame.payload);
+    processed_[stage]->fetch_add(1, std::memory_order_relaxed);
+    const std::vector<std::byte> encoded =
+        EncodeFrame(frame.request_id, output);
+    if (!out.Push(encoded.data(),
+                  static_cast<std::uint32_t>(encoded.size()))) {
+      break;  // downstream evicted
+    }
+  }
+  if (stages_[stage].unload) stages_[stage].unload();
+  // Propagate end-of-stream so downstream stages drain and exit.
+  out.Close();
+}
+
+StageFn SyntheticModel(std::size_t output_bytes, int work_factor) {
+  return [output_bytes, work_factor](std::uint64_t rid,
+                                     std::span<const std::byte> input) {
+    // FNV-1a over the input, repeated work_factor times — real CPU work
+    // proportional to input size, immune to dead-code elimination because
+    // the hash seeds the output bytes.
+    std::uint64_t h = 1469598103934665603ull ^ rid;
+    for (int iter = 0; iter < work_factor; ++iter) {
+      for (std::byte b : input) {
+        h ^= static_cast<std::uint64_t>(b);
+        h *= 1099511628211ull;
+      }
+      h ^= static_cast<std::uint64_t>(iter);
+    }
+    std::vector<std::byte> out(output_bytes);
+    std::uint64_t x = h ? h : 0x9E3779B97F4A7C15ull;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      // xorshift64 stream seeded by the hash.
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      out[i] = static_cast<std::byte>(x & 0xFF);
+    }
+    return out;
+  };
+}
+
+}  // namespace fluidfaas::runtime

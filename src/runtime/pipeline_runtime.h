@@ -1,0 +1,108 @@
+// The concurrent pipeline runtime — the C++ counterpart of Listing 1.
+//
+// The paper's FFaaS.run() creates one process per MIG slice, wires them with
+// shared memory + queues, executes `_run_inference` loops, and tears the
+// processes down on eviction/termination signals. Here each stage is a
+// worker thread (one per simulated slice), the shared-memory queues are
+// SpscByteRing channels, and the GPU kernel is a caller-supplied StageFn
+// (the examples use SyntheticModel, which burns real CPU proportional to
+// the modelled latency).
+//
+// Dataflow: Submit() frames (request id, tensor) into stage 0's input ring;
+// stage i pops, runs its StageFn, pushes into stage i+1's ring; the last
+// stage pushes into the результат ring read by NextResult().
+//
+// Lifecycle mirrors `_terminate_processes`:
+//   * RequestEviction(stage) sets the stage's eviction flag; the worker
+//     finishes its current tensor, runs the unload hook ("model.cpu()"),
+//     and exits — frames already queued upstream of it drain to the floor,
+//     exactly like killing a stage process.
+//   * Shutdown() closes the input ring; workers drain remaining frames and
+//     exit cleanly; Join() waits for them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/spsc_ring.h"
+
+namespace fluidfaas::runtime {
+
+struct TensorFrame {
+  std::uint64_t request_id = 0;
+  std::vector<std::byte> payload;
+};
+
+/// A stage's "model": transforms an input tensor into an output tensor.
+using StageFn = std::function<std::vector<std::byte>(
+    std::uint64_t request_id, std::span<const std::byte> input)>;
+
+struct StageConfig {
+  std::string name;
+  StageFn run;
+  /// Invoked once when the stage evicts or shuts down ("model.cpu()").
+  std::function<void()> unload;
+};
+
+class PipelineRuntime {
+ public:
+  PipelineRuntime(std::vector<StageConfig> stages,
+                  std::size_t ring_capacity = 1 << 20);
+  ~PipelineRuntime();
+
+  PipelineRuntime(const PipelineRuntime&) = delete;
+  PipelineRuntime& operator=(const PipelineRuntime&) = delete;
+
+  /// Start one worker thread per stage (Listing 1's `_start_processes`).
+  void Start();
+
+  /// Feed one request into the pipeline. Blocks while stage 0's ring is
+  /// full; returns false after Shutdown().
+  bool Submit(std::uint64_t request_id, std::span<const std::byte> input);
+
+  /// Blocking read of the next completed output; nullopt once the pipeline
+  /// has shut down and all results were consumed.
+  std::optional<TensorFrame> NextResult();
+
+  /// Signal one stage to evict (it exits after its current tensor).
+  void RequestEviction(std::size_t stage);
+  bool EvictionRequested(std::size_t stage) const;
+
+  /// Stop accepting inputs; workers drain and exit.
+  void Shutdown();
+  /// Wait for all worker threads to exit.
+  void Join();
+
+  std::size_t num_stages() const { return stages_.size(); }
+  std::uint64_t processed(std::size_t stage) const;
+
+ private:
+  void WorkerLoop(std::size_t stage);
+
+  static std::vector<std::byte> EncodeFrame(std::uint64_t rid,
+                                            std::span<const std::byte> data);
+  static TensorFrame DecodeFrame(std::vector<std::byte> bytes);
+
+  std::vector<StageConfig> stages_;
+  // channels_[i] feeds stage i; channels_[n] carries final results.
+  std::vector<std::unique_ptr<SpscByteRing>> channels_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> eviction_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> processed_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+/// A deterministic synthetic "DNN": burns CPU by hashing the input
+/// `work_factor` times and emits `output_bytes` derived bytes. Gives the
+/// runtime real, measurable per-stage compute.
+StageFn SyntheticModel(std::size_t output_bytes, int work_factor);
+
+}  // namespace fluidfaas::runtime

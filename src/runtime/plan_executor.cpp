@@ -1,0 +1,104 @@
+#include "runtime/plan_executor.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.h"
+
+namespace fluidfaas::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Estimate hash throughput once (bytes per second of the SyntheticModel
+/// inner loop) so CalibratedStage can size its work deterministically-ish.
+double MeasureHashBytesPerSec() {
+  static const double cached = [] {
+    std::vector<std::byte> buf(1 << 16);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = static_cast<std::byte>(i);
+    }
+    auto fn = SyntheticModel(8, 1);
+    const auto t0 = Clock::now();
+    int iters = 0;
+    while (Clock::now() - t0 < std::chrono::milliseconds(50)) {
+      fn(static_cast<std::uint64_t>(iters), buf);
+      ++iters;
+    }
+    const double secs = std::chrono::duration<double>(Clock::now() - t0)
+                            .count();
+    return static_cast<double>(iters) * static_cast<double>(buf.size()) /
+           secs;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+StageFn CalibratedStage(double target_ms, double time_scale,
+                        std::size_t output_bytes) {
+  const double bytes_per_sec = MeasureHashBytesPerSec();
+  const double budget_bytes =
+      bytes_per_sec * (target_ms * time_scale / 1000.0);
+  // Work factor over the (whatever-sized) input: hash it enough times to
+  // burn the budget, assuming a 64 KiB reference input.
+  const int work_factor = std::max(
+      1, static_cast<int>(std::lround(budget_bytes / (1 << 16))));
+  return SyntheticModel(output_bytes, work_factor);
+}
+
+PlanExecutor::PlanExecutor(const model::AppDag& dag,
+                           const core::PipelinePlan& plan,
+                           PlanExecutorOptions options)
+    : options_(options),
+      bottleneck_(plan.BottleneckTime()),
+      e2e_(plan.EndToEndLatency()) {
+  FFS_CHECK(!plan.stages.empty());
+  std::vector<StageConfig> stages;
+  for (const core::StageBinding& b : plan.stages) {
+    StageConfig s;
+    s.name = "stage[" + std::to_string(b.plan.begin) + "," +
+             std::to_string(b.plan.end) + ")@" + gpu::Name(b.profile);
+    const double ms = ToMillis(b.exec_time + b.hop_out);
+    // Output tensor: the modelled inter-stage cut, scaled 1024:1 and capped
+    // so rings never choke the measurement; the last stage emits a small
+    // result.
+    std::size_t out_bytes = 1024;
+    if (b.plan.end < dag.size()) {
+      out_bytes = std::min<std::size_t>(
+          options_.ring_capacity / 8,
+          std::max<std::size_t>(
+              1024, static_cast<std::size_t>(dag.CutBytes(b.plan.end)) /
+                        1024));
+    }
+    s.run = CalibratedStage(ms, options_.time_scale, out_bytes);
+    stages.push_back(std::move(s));
+  }
+  runtime_ = std::make_unique<PipelineRuntime>(std::move(stages),
+                                               options_.ring_capacity);
+}
+
+double PlanExecutor::MeasureSeconds(int requests) {
+  FFS_CHECK(requests > 0);
+  runtime_->Start();
+  std::vector<std::byte> input(options_.input_bytes);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::byte>(i * 40503u >> 8);
+  }
+  const auto t0 = Clock::now();
+  std::thread feeder([&] {
+    for (int i = 0; i < requests; ++i) {
+      runtime_->Submit(static_cast<std::uint64_t>(i), input);
+    }
+    runtime_->Shutdown();
+  });
+  int results = 0;
+  while (runtime_->NextResult()) ++results;
+  feeder.join();
+  runtime_->Join();
+  FFS_CHECK(results == requests);
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace fluidfaas::runtime

@@ -1,0 +1,59 @@
+// Bridge from planning to execution: materialize a core::PipelinePlan as a
+// real PipelineRuntime.
+//
+// The simulator predicts a pipeline's bottleneck and end-to-end latency from
+// profiles; this executor builds the same stage structure with live worker
+// threads whose synthetic compute burns CPU in proportion to the modelled
+// stage times (scaled by `time_scale`, since modelled GPU-milliseconds are
+// not CPU-milliseconds). Examples and the micro bench use it to check that
+// the *measured* steady-state throughput of the real pipeline matches the
+// planner's 1/bottleneck prediction — the claim behind Eq. 1's balancing.
+#pragma once
+
+#include <memory>
+
+#include "core/pipeline.h"
+#include "model/app.h"
+#include "runtime/pipeline_runtime.h"
+
+namespace fluidfaas::runtime {
+
+struct PlanExecutorOptions {
+  /// Wall-clock milliseconds of CPU work per modelled millisecond.
+  double time_scale = 0.05;
+  /// Bytes of tensor fed into stage inputs (scaled copies of the modelled
+  /// inter-stage tensors are used between stages).
+  std::size_t input_bytes = 1 << 16;
+  std::size_t ring_capacity = 1 << 22;
+};
+
+class PlanExecutor {
+ public:
+  PlanExecutor(const model::AppDag& dag, const core::PipelinePlan& plan,
+               PlanExecutorOptions options = {});
+
+  /// The underlying runtime (Start/Submit/NextResult/Shutdown).
+  PipelineRuntime& runtime() { return *runtime_; }
+
+  /// Planner predictions for cross-checking measurements.
+  SimDuration predicted_bottleneck() const { return bottleneck_; }
+  SimDuration predicted_e2e() const { return e2e_; }
+
+  /// Run `requests` tensors through the pipeline and return the measured
+  /// wall-clock seconds (Start must not have been called).
+  double MeasureSeconds(int requests);
+
+ private:
+  std::unique_ptr<PipelineRuntime> runtime_;
+  PlanExecutorOptions options_;
+  SimDuration bottleneck_;
+  SimDuration e2e_;
+};
+
+/// A stage function calibrated to take roughly `target_ms x time_scale`
+/// milliseconds of wall-clock CPU per tensor (used by PlanExecutor; exposed
+/// for tests).
+StageFn CalibratedStage(double target_ms, double time_scale,
+                        std::size_t output_bytes);
+
+}  // namespace fluidfaas::runtime

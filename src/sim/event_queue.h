@@ -1,0 +1,70 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap keyed on (time, sequence). The sequence number makes
+// ordering of simultaneous events FIFO and therefore deterministic across
+// runs and platforms — a requirement for reproducible figures.
+// Cancellation is supported by tombstoning: O(1) cancel, lazily skipped at
+// pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fluidfaas::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to fire at absolute time `when`. Returns a handle that
+  /// can be passed to Cancel().
+  EventId Schedule(SimTime when, EventFn fn);
+
+  /// Cancel a pending event. Returns false if the event already fired or
+  /// was already cancelled. O(1) amortized.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the next live event; kTimeInfinity when empty.
+  SimTime PeekTime();
+
+  /// Pop and return the next live event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired Pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    // Min-heap: smaller (time, id) first. std::priority_queue is a max-heap,
+    // so the comparator is reversed.
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace fluidfaas::sim

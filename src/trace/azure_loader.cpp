@@ -1,0 +1,98 @@
+#include "trace/azure_loader.h"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fluidfaas::trace {
+
+std::vector<AzureDatasetRow> LoadAzureDataset(std::istream& in) {
+  std::vector<AzureDatasetRow> rows;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!header_seen) {
+      header_seen = true;
+      FFS_CHECK_MSG(line.rfind("HashOwner", 0) == 0,
+                    "not an Azure dataset file (missing HashOwner header)");
+      continue;
+    }
+    std::stringstream ss(line);
+    AzureDatasetRow row;
+    std::string tok;
+    FFS_CHECK_MSG(std::getline(ss, row.owner_hash, ',') &&
+                      std::getline(ss, row.app_hash, ',') &&
+                      std::getline(ss, row.function_hash, ',') &&
+                      std::getline(ss, row.trigger, ','),
+                  "malformed Azure dataset row: " + line);
+    while (std::getline(ss, tok, ',')) {
+      if (tok.empty()) {
+        row.per_minute.push_back(0);
+        continue;
+      }
+      std::size_t pos = 0;
+      int count = -1;
+      try {
+        count = std::stoi(tok, &pos);
+      } catch (const std::exception&) {
+        throw FfsError("bad invocation count '" + tok + "'");
+      }
+      FFS_CHECK_MSG(pos == tok.size() && count >= 0,
+                    "bad invocation count '" + tok + "'");
+      row.per_minute.push_back(count);
+      row.total += static_cast<std::uint64_t>(count);
+    }
+    FFS_CHECK_MSG(row.per_minute.size() <= 1440,
+                  "more than 1440 minute buckets");
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Trace ExpandAzureDataset(const std::vector<AzureDatasetRow>& rows,
+                         const AzureExpandOptions& options) {
+  FFS_CHECK(options.num_functions >= 1);
+  FFS_CHECK(options.minutes >= 1);
+  FFS_CHECK(options.count_scale > 0.0);
+
+  // Rank by total volume; rank order becomes FunctionId order, matching the
+  // heavy-tailed popularity the synthesizer models.
+  std::vector<const AzureDatasetRow*> ranked;
+  ranked.reserve(rows.size());
+  for (const auto& r : rows) ranked.push_back(&r);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const AzureDatasetRow* a, const AzureDatasetRow* b) {
+              if (a->total != b->total) return a->total > b->total;
+              return a->function_hash < b->function_hash;
+            });
+  const int n = std::min<int>(options.num_functions,
+                              static_cast<int>(ranked.size()));
+  FFS_CHECK_MSG(n >= 1, "dataset has no rows");
+
+  Rng rng(options.seed);
+  Trace trace;
+  for (int f = 0; f < n; ++f) {
+    Rng frng = rng.Fork();
+    const AzureDatasetRow& row = *ranked[static_cast<std::size_t>(f)];
+    const int minutes = std::min<int>(
+        options.minutes, static_cast<int>(row.per_minute.size()));
+    for (int m = 0; m < minutes; ++m) {
+      const double scaled =
+          row.per_minute[static_cast<std::size_t>(m)] * options.count_scale;
+      int count = static_cast<int>(scaled);
+      if (frng.Chance(scaled - count)) ++count;  // stochastic rounding
+      for (int k = 0; k < count; ++k) {
+        const SimTime at =
+            Seconds(60.0 * m) + frng.UniformInt(0, Seconds(60.0) - 1);
+        trace.push_back(Invocation{at, FunctionId(f)});
+      }
+    }
+  }
+  SortTrace(trace);
+  return trace;
+}
+
+}  // namespace fluidfaas::trace

@@ -1,0 +1,57 @@
+// Loader for the real Azure Functions 2019 dataset (Shahrad et al.,
+// ATC '20) — the trace source the paper uses. The dataset's
+// `invocations_per_function_md.anon.dNN.csv` files carry one row per
+// function:
+//
+//   HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+//
+// where columns 1..1440 are invocation counts per minute of the day. This
+// loader parses that schema, ranks functions by volume, and expands minute
+// buckets into microsecond arrival times (uniformly within each minute, the
+// finest statement the data supports), producing the same Trace the
+// synthesizer emits — so the harness runs identically on real data when the
+// dataset is available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/trace.h"
+
+namespace fluidfaas::trace {
+
+struct AzureDatasetRow {
+  std::string owner_hash;
+  std::string app_hash;
+  std::string function_hash;
+  std::string trigger;
+  std::vector<int> per_minute;  // up to 1440 buckets
+  std::uint64_t total = 0;
+};
+
+/// Parse the dataset CSV (header required). Rows with non-numeric buckets
+/// are rejected; missing trailing buckets are treated as zero.
+std::vector<AzureDatasetRow> LoadAzureDataset(std::istream& in);
+
+struct AzureExpandOptions {
+  /// Take the top-N rows by total volume and map them onto platform
+  /// functions 0..N-1 (rank order = FunctionId order).
+  int num_functions = 4;
+  /// Use the first `minutes` of the day.
+  int minutes = 5;
+  /// Scale every bucket count by this factor (the dataset's absolute
+  /// volumes need scaling to a simulated cluster's capacity).
+  double count_scale = 1.0;
+  std::uint64_t seed = 1234;
+};
+
+/// Expand dataset rows into an arrival trace over
+/// [0, options.minutes * 60 s). Arrival times within each minute bucket are
+/// i.i.d. uniform; scaled fractional counts round stochastically so the
+/// expected volume matches count_scale exactly.
+Trace ExpandAzureDataset(const std::vector<AzureDatasetRow>& rows,
+                         const AzureExpandOptions& options);
+
+}  // namespace fluidfaas::trace

@@ -1,0 +1,53 @@
+// Workload tiers (paper §6): light / medium / heavy run every application at
+// its small / medium / large variant respectively, with aggregate arrival
+// rates calibrated against the cluster's ideal compute capacity.
+//
+// "Ideal capacity" is the work-conserving bound: total GPCs divided by the
+// mean single-GPC service demand of the tier's request mix. Tier load
+// factors are chosen so that light leaves ample headroom everywhere,
+// medium exceeds what a monolithic scheduler can deploy once 1g slices go
+// unusable, and heavy exceeds it once only 4g slices remain usable —
+// reproducing the regimes of §7.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/cluster.h"
+#include "model/app.h"
+#include "platform/function.h"
+#include "trace/trace.h"
+
+namespace fluidfaas::trace {
+
+enum class WorkloadTier { kLight = 0, kMedium = 1, kHeavy = 2 };
+
+const char* Name(WorkloadTier tier);
+model::Variant VariantOf(WorkloadTier tier);
+
+/// Fraction of ideal cluster capacity offered by each tier.
+double DefaultLoadFactor(WorkloadTier tier);
+
+struct Workload {
+  WorkloadTier tier;
+  std::vector<platform::FunctionSpec> functions;
+  Trace trace;
+  double offered_rps = 0.0;
+  double ideal_rps = 0.0;  // work-conserving cluster bound for this mix
+};
+
+struct WorkloadParams {
+  double slo_scale = 1.5;
+  SimDuration duration = Seconds(300);
+  /// Overrides DefaultLoadFactor when > 0.
+  double load_factor = 0.0;
+  std::uint64_t seed = 1234;
+  int max_stages = 4;
+};
+
+/// Build the tier's function set (the study apps at the tier's variant) and
+/// a synthesized trace sized to the cluster.
+Workload MakeWorkload(WorkloadTier tier, const gpu::Cluster& cluster,
+                      const WorkloadParams& params);
+
+}  // namespace fluidfaas::trace

@@ -1,0 +1,174 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace fluidfaas {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  std::uint64_t s = 42;
+  const std::uint64_t a = SplitMix64(s);
+  const std::uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentContinuation) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // The child stream must not simply replay the parent stream.
+  Rng parent2(99);
+  (void)parent2.Fork();
+  std::vector<std::uint64_t> child_seq, parent_seq;
+  for (int i = 0; i < 50; ++i) {
+    child_seq.push_back(child.Next());
+    parent_seq.push_back(parent.Next());
+  }
+  EXPECT_NE(child_seq, parent_seq);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.UniformInt(3, 2), FfsError);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.005);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) ASSERT_GT(rng.Exponential(0.5), 0.0);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveRate) {
+  Rng rng(8);
+  EXPECT_THROW(rng.Exponential(0.0), FfsError);
+  EXPECT_THROW(rng.Exponential(-1.0), FfsError);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, LogNormalIsPositiveWithExpectedMedian) {
+  Rng rng(10);
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) {
+    const double x = rng.LogNormal(1.0, 0.5);
+    ASSERT_GT(x, 0.0);
+    xs.push_back(x);
+  }
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(Percentile(xs, 0.5), std::exp(1.0), 0.05);
+}
+
+TEST(RngTest, ParetoRespectsScaleAndTail) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.Pareto(2.0, 3.0);
+    ASSERT_GE(x, 2.0);
+    s.Add(x);
+  }
+  // Mean of Pareto(xm, alpha) = alpha*xm/(alpha-1) = 3.
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+}
+
+TEST(RngTest, ParetoRejectsBadParameters) {
+  Rng rng(12);
+  EXPECT_THROW(rng.Pareto(0.0, 1.0), FfsError);
+  EXPECT_THROW(rng.Pareto(1.0, 0.0), FfsError);
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ull);
+  Rng rng(14);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace fluidfaas

@@ -1,0 +1,137 @@
+// Focused tests of the heterogeneity-aware request routing (§5.3): hot
+// instances lowest-latency-first, spill to the time-sharing instance, and
+// the bounded fallback.
+#include <gtest/gtest.h>
+
+#include "core/ffs_platform.h"
+#include "core/pipeline.h"
+#include "model/zoo.h"
+
+namespace fluidfaas::core {
+namespace {
+
+using platform::FunctionSpec;
+using platform::Instance;
+using platform::InstanceState;
+using platform::MakeFunctionSpec;
+using platform::PlatformConfig;
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest()
+      : cluster_(gpu::Cluster::Uniform(1, 2, gpu::DefaultPartition())),
+        recorder_(cluster_) {
+    std::vector<FunctionSpec> fns;
+    fns.push_back(MakeFunctionSpec(FunctionId(0), 0, model::Variant::kMedium,
+                                   model::BuildApp(0, model::Variant::kMedium),
+                                   1.5));
+    PlatformConfig config;
+    config.service_jitter_cv = 0.0;  // exact arithmetic
+    plat_ = std::make_unique<FluidFaasPlatform>(sim_, cluster_, recorder_,
+                                                std::move(fns), config);
+    plat_->Start();
+  }
+
+  /// Heat the function until it owns exclusive instances, then go idle.
+  void WarmUp() {
+    for (int i = 0; i < 250; ++i) {
+      sim_.At(Millis(80) * i, [this] { plat_->Submit(FunctionId(0)); });
+    }
+    sim_.RunUntil(Seconds(30));
+  }
+
+  sim::Simulator sim_;
+  gpu::Cluster cluster_;
+  metrics::Recorder recorder_;
+  std::unique_ptr<FluidFaasPlatform> plat_;
+};
+
+TEST_F(RoutingTest, HotInstancesServeBeforeTimeSharing) {
+  WarmUp();
+  ASSERT_GE(plat_->NumExclusiveHot(FunctionId(0)), 1);
+  // Quiesce, then a single request: it must land on a hot instance (some
+  // instance gains outstanding work while TS is absent or idle).
+  sim_.RunUntil(Seconds(32));
+  const std::size_t before = recorder_.completed_requests();
+  plat_->Submit(FunctionId(0));
+  bool hot_took_it = false;
+  for (Instance* inst : plat_->InstancesOf(FunctionId(0))) {
+    if (inst->outstanding() > 0 && inst->state() != InstanceState::kRetired) {
+      hot_took_it = true;
+    }
+  }
+  EXPECT_TRUE(hot_took_it);
+  sim_.RunUntil(Seconds(200));
+  EXPECT_GT(recorder_.completed_requests(), before);
+}
+
+TEST_F(RoutingTest, LowestServiceLatencyInstancePreferred) {
+  WarmUp();
+  auto insts = plat_->InstancesOf(FunctionId(0));
+  // Find the fastest admitting instance.
+  Instance* fastest = nullptr;
+  for (Instance* inst : insts) {
+    if (!inst->CanAdmit()) continue;
+    if (fastest == nullptr ||
+        inst->ServiceLatency() < fastest->ServiceLatency()) {
+      fastest = inst;
+    }
+  }
+  ASSERT_NE(fastest, nullptr);
+  ASSERT_TRUE(fastest->Idle());
+  plat_->Submit(FunctionId(0));
+  EXPECT_GT(fastest->outstanding(), 0)
+      << "request should go to the lowest-latency idle instance";
+  sim_.RunUntil(Seconds(300));
+}
+
+TEST_F(RoutingTest, OverflowBeyondDeadlineUsesPendingSet) {
+  WarmUp();
+  sim_.RunUntil(Seconds(35));
+  // Dump a large instantaneous burst: admission bounds cap per-instance
+  // queues, the rest must sit in the EDF pending set (not FIFO queues).
+  for (int i = 0; i < 200; ++i) plat_->Submit(FunctionId(0));
+  std::size_t queued = 0;
+  for (Instance* inst : plat_->InstancesOf(FunctionId(0))) {
+    queued += static_cast<std::size_t>(inst->outstanding());
+  }
+  EXPECT_GT(plat_->PendingCount(), 0u);
+  EXPECT_LT(queued, 200u);
+  sim_.RunUntil(Seconds(400));
+  EXPECT_EQ(recorder_.completed_requests(), recorder_.total_requests());
+}
+
+TEST_F(RoutingTest, EvictionCostShowsUpAsLoadTime) {
+  // Two functions on one GPU (3 slices): after the first function's TS
+  // instance is evicted for others, its next request pays a visible reload.
+  sim::Simulator sim;
+  auto cluster = gpu::Cluster::Uniform(1, 1, gpu::DefaultPartition());
+  metrics::Recorder recorder(cluster);
+  std::vector<FunctionSpec> fns;
+  for (int a = 0; a < 4; ++a) {
+    fns.push_back(MakeFunctionSpec(FunctionId(a), a, model::Variant::kSmall,
+                                   model::BuildApp(a, model::Variant::kSmall),
+                                   1.5));
+  }
+  PlatformConfig config;
+  FluidFaasPlatform plat(sim, cluster, recorder, std::move(fns), config);
+  plat.Start();
+  // Touch fn0 first, then the other three (forcing fn0's eviction), then
+  // fn0 again.
+  sim.At(0, [&] { plat.Submit(FunctionId(0)); });
+  for (int a = 1; a < 4; ++a) {
+    sim.At(Seconds(10 * a), [&plat, a] { plat.Submit(FunctionId(a)); });
+  }
+  RequestId reload_rid;
+  sim.At(Seconds(60), [&] { reload_rid = plat.Submit(FunctionId(0)); });
+  sim.RunUntil(Seconds(200));
+  ASSERT_GE(plat.evictions(), 1u);
+  ASSERT_TRUE(recorder.record(reload_rid).done());
+  // The reload is a warm load: hundreds of ms, not a cold multi-second
+  // fetch and not zero.
+  EXPECT_GT(recorder.record(reload_rid).load_time, Millis(100));
+  EXPECT_LT(recorder.record(reload_rid).load_time, Seconds(4));
+}
+
+}  // namespace
+}  // namespace fluidfaas::core

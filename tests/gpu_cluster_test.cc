@@ -1,0 +1,187 @@
+#include "gpu/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fluidfaas::gpu {
+namespace {
+
+Cluster MakeTestCluster() {
+  // 2 nodes x 2 GPUs, default partition (4g+2g+1g) each: 12 slices total.
+  return Cluster::Uniform(2, 2, DefaultPartition());
+}
+
+TEST(ClusterTest, TopologyCounts) {
+  Cluster c = MakeTestCluster();
+  EXPECT_EQ(c.num_nodes(), 2);
+  EXPECT_EQ(c.num_gpus(), 4);
+  EXPECT_EQ(c.num_slices(), 12u);
+  EXPECT_EQ(c.TotalGpcs(), 28);
+  EXPECT_EQ(c.BoundGpcs(), 0);
+}
+
+TEST(ClusterTest, SliceIdsAreDenseAndOrdered) {
+  Cluster c = MakeTestCluster();
+  auto all = c.AllSlices();
+  ASSERT_EQ(all.size(), 12u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].value, static_cast<std::int32_t>(i));
+    EXPECT_EQ(c.slice(all[i]).id, all[i]);
+  }
+}
+
+TEST(ClusterTest, SlicesKnowTheirGpuAndNode) {
+  Cluster c = MakeTestCluster();
+  for (SliceId sid : c.AllSlices()) {
+    const MigSlice& s = c.slice(sid);
+    const Gpu& g = c.gpu(s.gpu);
+    EXPECT_EQ(g.node(), s.node);
+    bool found = false;
+    for (const MigSlice& gs : g.slices()) {
+      if (gs.id == sid) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ClusterTest, BindReleaseLifecycle) {
+  Cluster c = MakeTestCluster();
+  const SliceId sid(0);
+  const InstanceId inst(7);
+  EXPECT_TRUE(c.slice(sid).free());
+  c.Bind(sid, inst);
+  EXPECT_FALSE(c.slice(sid).free());
+  EXPECT_EQ(c.slice(sid).occupant, inst);
+  EXPECT_EQ(c.BoundGpcs(), c.slice(sid).gpcs());
+  c.Release(sid, inst);
+  EXPECT_TRUE(c.slice(sid).free());
+  EXPECT_EQ(c.BoundGpcs(), 0);
+}
+
+TEST(ClusterTest, StrongIsolationDoubleBindThrows) {
+  Cluster c = MakeTestCluster();
+  c.Bind(SliceId(0), InstanceId(1));
+  EXPECT_THROW(c.Bind(SliceId(0), InstanceId(2)), FfsError);
+  // Same instance re-binding the same slice is also a violation.
+  EXPECT_THROW(c.Bind(SliceId(0), InstanceId(1)), FfsError);
+}
+
+TEST(ClusterTest, ReleaseByNonOccupantThrows) {
+  Cluster c = MakeTestCluster();
+  c.Bind(SliceId(0), InstanceId(1));
+  EXPECT_THROW(c.Release(SliceId(0), InstanceId(2)), FfsError);
+  EXPECT_THROW(c.Release(SliceId(1), InstanceId(1)), FfsError);
+}
+
+TEST(ClusterTest, BindInvalidInstanceThrows) {
+  Cluster c = MakeTestCluster();
+  EXPECT_THROW(c.Bind(SliceId(0), InstanceId()), FfsError);
+}
+
+TEST(ClusterTest, FreeSliceQueries) {
+  Cluster c = MakeTestCluster();
+  EXPECT_EQ(c.FreeSlices().size(), 12u);
+  EXPECT_EQ(c.FreeSlices(MigProfile::k4g40gb).size(), 4u);
+  EXPECT_EQ(c.FreeSlicesOnNode(NodeId(0)).size(), 6u);
+
+  // Bind one 4g on node 0.
+  for (SliceId sid : c.FreeSlices(MigProfile::k4g40gb)) {
+    if (c.slice(sid).node == NodeId(0)) {
+      c.Bind(sid, InstanceId(1));
+      break;
+    }
+  }
+  EXPECT_EQ(c.FreeSlices().size(), 11u);
+  EXPECT_EQ(c.FreeSlices(MigProfile::k4g40gb).size(), 3u);
+  EXPECT_EQ(c.FreeSlicesOnNode(NodeId(0)).size(), 5u);
+  EXPECT_EQ(c.FreeSlicesOnNode(NodeId(1)).size(), 6u);
+}
+
+TEST(ClusterTest, SmallestFreeSliceWithMemoryPrefersFewestGpcs) {
+  Cluster c = MakeTestCluster();
+  // 8 GB fits everywhere; the 1g slice must win.
+  auto sid = c.SmallestFreeSliceWithMemory(GiB(8));
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_EQ(c.slice(*sid).profile(), MigProfile::k1g10gb);
+  // 15 GB needs at least 2g.
+  sid = c.SmallestFreeSliceWithMemory(GiB(15));
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_EQ(c.slice(*sid).profile(), MigProfile::k2g20gb);
+  // 35 GB needs the 4g.
+  sid = c.SmallestFreeSliceWithMemory(GiB(35));
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_EQ(c.slice(*sid).profile(), MigProfile::k4g40gb);
+  // 45 GB fits nowhere on this partition.
+  EXPECT_FALSE(c.SmallestFreeSliceWithMemory(GiB(45)).has_value());
+}
+
+TEST(ClusterTest, SmallestFreeSliceSkipsBoundSlices) {
+  Cluster c = MakeTestCluster();
+  for (SliceId sid : c.FreeSlices(MigProfile::k1g10gb)) {
+    c.Bind(sid, InstanceId(1));
+  }
+  auto sid = c.SmallestFreeSliceWithMemory(GiB(8));
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_EQ(c.slice(*sid).profile(), MigProfile::k2g20gb);
+}
+
+TEST(ClusterTest, GpuHasBoundSlice) {
+  Cluster c = MakeTestCluster();
+  EXPECT_FALSE(c.GpuHasBoundSlice(GpuId(0)));
+  c.Bind(SliceId(0), InstanceId(1));
+  const GpuId g = c.slice(SliceId(0)).gpu;
+  EXPECT_TRUE(c.GpuHasBoundSlice(g));
+}
+
+TEST(ClusterTest, HeterogeneousPartitionsPerGpu) {
+  std::vector<std::vector<MigPartition>> parts = {
+      {MigPartition::Parse("7g.80gb"),
+       MigPartition::Parse("3g.40gb+3g.40gb")}};
+  Cluster c(std::move(parts));
+  EXPECT_EQ(c.num_gpus(), 2);
+  EXPECT_EQ(c.num_slices(), 3u);
+  EXPECT_EQ(c.TotalGpcs(), 13);
+}
+
+TEST(ClusterTest, HybridSchemeBuilds) {
+  Cluster c(std::vector<std::vector<MigPartition>>{PartitionSchemeHybrid()});
+  EXPECT_EQ(c.num_gpus(), 8);
+  EXPECT_EQ(c.FreeSlices(MigProfile::k1g10gb).size(), 7u + 2u + 1u);
+}
+
+TEST(GpuTest, RepartitionRequiresAllFree) {
+  Cluster c = MakeTestCluster();
+  c.Bind(SliceId(0), InstanceId(1));
+  // Direct repartition of that GPU must fail while bound.
+  Gpu g(GpuId(9), NodeId(0), DefaultPartition(), SliceId(100));
+  g.slices()[0].occupant = InstanceId(3);
+  EXPECT_THROW(g.Repartition(MigPartition::Parse("7g.80gb"), SliceId(100)),
+               FfsError);
+}
+
+TEST(ReconfigCostTest, MinutesScaleCost) {
+  ReconfigCostModel m;
+  // Bare reconfiguration is already minutes (paper §2.2).
+  EXPECT_GE(m.Cost(0), Minutes(3.0));
+  // Checkpointing state adds to it.
+  EXPECT_GT(m.Cost(GiB(40)), m.Cost(0));
+}
+
+TEST(ClusterTest, InvalidIdsThrow) {
+  Cluster c = MakeTestCluster();
+  EXPECT_THROW(c.slice(SliceId()), FfsError);
+  EXPECT_THROW(c.slice(SliceId(999)), FfsError);
+  EXPECT_THROW(c.gpu(GpuId(99)), FfsError);
+}
+
+TEST(ClusterTest, DescribeMentionsEveryGpu) {
+  Cluster c = MakeTestCluster();
+  const std::string d = c.Describe();
+  EXPECT_NE(d.find("gpu 0"), std::string::npos);
+  EXPECT_NE(d.find("gpu 3"), std::string::npos);
+  EXPECT_NE(d.find("4g.40gb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fluidfaas::gpu

@@ -1,0 +1,95 @@
+#include "gpu/mig_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fluidfaas::gpu {
+namespace {
+
+// Table 2 of the paper: the complete MIG profile list of an A100.
+struct Table2Row {
+  MigProfile profile;
+  int gpcs;
+  int mem_gb;
+  int max_count;
+  const char* name;
+};
+
+class ProfileTableTest : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(ProfileTableTest, MatchesPaperTable2) {
+  const Table2Row& row = GetParam();
+  const ProfileInfo& info = Info(row.profile);
+  EXPECT_EQ(info.gpcs, row.gpcs);
+  EXPECT_EQ(info.mem_slots * 10, row.mem_gb);
+  EXPECT_EQ(info.max_count, row.max_count);
+  EXPECT_STREQ(info.name, row.name);
+  EXPECT_EQ(MemBytes(row.profile), static_cast<Bytes>(row.mem_gb) * kGiB);
+  EXPECT_EQ(Gpcs(row.profile), row.gpcs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, ProfileTableTest,
+    ::testing::Values(
+        Table2Row{MigProfile::k1g10gb, 1, 10, 7, "1g.10gb"},
+        Table2Row{MigProfile::k2g20gb, 2, 20, 3, "2g.20gb"},
+        Table2Row{MigProfile::k3g40gb, 3, 40, 2, "3g.40gb"},
+        Table2Row{MigProfile::k4g40gb, 4, 40, 1, "4g.40gb"},
+        Table2Row{MigProfile::k7g80gb, 7, 80, 1, "7g.80gb"}));
+
+TEST(ProfileTest, ParseRoundTrips) {
+  for (MigProfile p : kAllProfiles) {
+    EXPECT_EQ(ProfileFromName(Name(p)), p);
+  }
+}
+
+TEST(ProfileTest, ParseRejectsUnknown) {
+  EXPECT_THROW(ProfileFromName("5g.50gb"), FfsError);
+  EXPECT_THROW(ProfileFromName(""), FfsError);
+  EXPECT_THROW(ProfileFromName("1G.10GB"), FfsError);
+}
+
+TEST(ProfileTest, SmallestProfileForMemory) {
+  MigProfile p;
+  ASSERT_TRUE(SmallestProfileForMemory(GiB(1), p));
+  EXPECT_EQ(p, MigProfile::k1g10gb);
+  ASSERT_TRUE(SmallestProfileForMemory(GiB(10), p));
+  EXPECT_EQ(p, MigProfile::k1g10gb);
+  ASSERT_TRUE(SmallestProfileForMemory(GiB(10) + 1, p));
+  EXPECT_EQ(p, MigProfile::k2g20gb);
+  ASSERT_TRUE(SmallestProfileForMemory(GiB(25), p));
+  EXPECT_EQ(p, MigProfile::k3g40gb);  // 3g has 40 GB and fewer GPCs than 4g
+  ASSERT_TRUE(SmallestProfileForMemory(GiB(41), p));
+  EXPECT_EQ(p, MigProfile::k7g80gb);
+  EXPECT_FALSE(SmallestProfileForMemory(GiB(81), p));
+}
+
+TEST(ProfileTest, AscendingOrderByGpcs) {
+  auto ps = ProfilesAscending();
+  ASSERT_EQ(ps.size(), kAllProfiles.size());
+  for (std::size_t i = 1; i < ps.size(); ++i) {
+    EXPECT_LE(Gpcs(ps[i - 1]), Gpcs(ps[i]));
+  }
+  EXPECT_EQ(ps.front(), MigProfile::k1g10gb);
+  EXPECT_EQ(ps.back(), MigProfile::k7g80gb);
+}
+
+TEST(ProfileTest, PlacementRulesMatchHardware) {
+  EXPECT_EQ(AllowedStartSlots(MigProfile::k1g10gb),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(AllowedStartSlots(MigProfile::k2g20gb),
+            (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(AllowedStartSlots(MigProfile::k3g40gb), (std::vector<int>{0, 4}));
+  EXPECT_EQ(AllowedStartSlots(MigProfile::k4g40gb), (std::vector<int>{0}));
+  EXPECT_EQ(AllowedStartSlots(MigProfile::k7g80gb), (std::vector<int>{0}));
+}
+
+TEST(ProfileTest, GpuConstantsMatchA100) {
+  EXPECT_EQ(kGpcsPerGpu, 7);
+  EXPECT_EQ(kMemSlotsPerGpu, 8);
+  EXPECT_EQ(kMemPerSlot, 10ll * kGiB);
+}
+
+}  // namespace
+}  // namespace fluidfaas::gpu

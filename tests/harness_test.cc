@@ -1,0 +1,106 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace fluidfaas::harness {
+namespace {
+
+ExperimentConfig SmallConfig(SystemKind kind, trace::WorkloadTier tier) {
+  ExperimentConfig cfg;
+  cfg.system = kind;
+  cfg.tier = tier;
+  cfg.num_nodes = 1;
+  cfg.gpus_per_node = 2;
+  cfg.duration = Seconds(30);
+  cfg.load_factor = 0.2;  // gentle: everything completes quickly
+  cfg.seed = 11;
+  return cfg;
+}
+
+class AllSystemsTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(AllSystemsTest, CompletesEveryRequest) {
+  auto res = RunExperiment(SmallConfig(GetParam(),
+                                       trace::WorkloadTier::kLight));
+  ASSERT_NE(res.recorder, nullptr);
+  EXPECT_GT(res.recorder->total_requests(), 0u);
+  EXPECT_EQ(res.recorder->completed_requests(),
+            res.recorder->total_requests());
+  EXPECT_GT(res.throughput_rps, 0.0);
+  EXPECT_GT(res.slo_hit_rate, 0.5);
+  EXPECT_GT(res.mig_time, 0);
+  EXPECT_GE(res.gpu_time, 0);
+  EXPECT_EQ(res.total_gpcs, 14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, AllSystemsTest,
+                         ::testing::Values(SystemKind::kFluidFaas,
+                                           SystemKind::kEsg,
+                                           SystemKind::kInfless));
+
+TEST(HarnessTest, DeterministicAcrossRuns) {
+  const auto cfg = SmallConfig(SystemKind::kFluidFaas,
+                               trace::WorkloadTier::kMedium);
+  auto a = RunExperiment(cfg);
+  auto b = RunExperiment(cfg);
+  EXPECT_EQ(a.recorder->total_requests(), b.recorder->total_requests());
+  EXPECT_EQ(a.recorder->completed_requests(),
+            b.recorder->completed_requests());
+  EXPECT_DOUBLE_EQ(a.slo_hit_rate, b.slo_hit_rate);
+  EXPECT_EQ(a.mig_time, b.mig_time);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(HarnessTest, SameTraceAcrossSystems) {
+  ExperimentConfig cfg = SmallConfig(SystemKind::kFluidFaas,
+                                     trace::WorkloadTier::kLight);
+  auto results = RunComparison(cfg);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].system, "INFless");
+  EXPECT_EQ(results[1].system, "ESG");
+  EXPECT_EQ(results[2].system, "FluidFaaS");
+  // Identical arrivals for every system.
+  EXPECT_EQ(results[0].recorder->total_requests(),
+            results[1].recorder->total_requests());
+  EXPECT_EQ(results[1].recorder->total_requests(),
+            results[2].recorder->total_requests());
+  EXPECT_DOUBLE_EQ(results[0].offered_rps, results[2].offered_rps);
+}
+
+TEST(HarnessTest, CustomPartitionsAreUsed) {
+  ExperimentConfig cfg = SmallConfig(SystemKind::kFluidFaas,
+                                     trace::WorkloadTier::kLight);
+  cfg.partitions = {
+      {gpu::MigPartition::Parse("7g.80gb"),
+       gpu::MigPartition::Parse("7g.80gb")}};
+  auto res = RunExperiment(cfg);
+  EXPECT_EQ(res.total_gpcs, 14);
+  EXPECT_EQ(res.recorder->completed_requests(),
+            res.recorder->total_requests());
+}
+
+TEST(HarnessTest, FluidCollectsSchedulerCounters) {
+  ExperimentConfig cfg = SmallConfig(SystemKind::kFluidFaas,
+                                     trace::WorkloadTier::kLight);
+  cfg.duration = Seconds(60);
+  cfg.load_factor = 0.5;
+  auto res = RunExperiment(cfg);
+  // The light run at least promotes something.
+  EXPECT_GT(res.promotions + res.demotions + res.evictions +
+                res.pipelines_launched,
+            0u);
+  // Baselines report zeros.
+  cfg.system = SystemKind::kEsg;
+  auto esg = RunExperiment(cfg);
+  EXPECT_EQ(esg.promotions, 0u);
+  EXPECT_EQ(esg.evictions, 0u);
+}
+
+TEST(HarnessTest, NamesAreStable) {
+  EXPECT_STREQ(Name(SystemKind::kFluidFaas), "FluidFaaS");
+  EXPECT_STREQ(Name(SystemKind::kEsg), "ESG");
+  EXPECT_STREQ(Name(SystemKind::kInfless), "INFless");
+}
+
+}  // namespace
+}  // namespace fluidfaas::harness

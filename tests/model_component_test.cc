@@ -1,0 +1,113 @@
+#include "model/component.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/zoo.h"
+
+namespace fluidfaas::model {
+namespace {
+
+ComponentSpec MakeSpec(double serial_fraction) {
+  ComponentSpec c;
+  c.id = ComponentId(0);
+  c.name = "test";
+  c.cls = ComponentClass::kClassification;
+  c.weights = GiB(1);
+  c.activations = GiB(1);
+  c.latency_1gpc = Millis(700);
+  c.serial_fraction = serial_fraction;
+  return c;
+}
+
+TEST(ComponentTest, LatencyDecreasesWithGpcs) {
+  ComponentSpec c = MakeSpec(0.1);
+  SimDuration prev = c.LatencyOnGpcs(1);
+  for (int g = 2; g <= 7; ++g) {
+    const SimDuration t = c.LatencyOnGpcs(g);
+    EXPECT_LT(t, prev) << "at " << g << " GPCs";
+    prev = t;
+  }
+}
+
+TEST(ComponentTest, AmdahlFormulaExact) {
+  ComponentSpec c = MakeSpec(0.2);
+  // t(g) = t1 * (0.2 + 0.8/g)
+  EXPECT_EQ(c.LatencyOnGpcs(1), Millis(700));
+  EXPECT_EQ(c.LatencyOnGpcs(2), Millis(700 * 0.6));
+  EXPECT_EQ(c.LatencyOnGpcs(4), Millis(700 * 0.4));
+}
+
+TEST(ComponentTest, FullySerialDoesNotScale) {
+  ComponentSpec c = MakeSpec(1.0);
+  EXPECT_EQ(c.LatencyOnGpcs(1), c.LatencyOnGpcs(7));
+}
+
+TEST(ComponentTest, FullyParallelScalesLinearly) {
+  ComponentSpec c = MakeSpec(0.0);
+  EXPECT_EQ(c.LatencyOnGpcs(7), Millis(100));
+}
+
+TEST(ComponentTest, SpeedupBoundedByGpcCount) {
+  ComponentSpec c = MakeSpec(0.05);
+  for (int g = 1; g <= 7; ++g) {
+    const double speedup = static_cast<double>(c.LatencyOnGpcs(1)) /
+                           static_cast<double>(c.LatencyOnGpcs(g));
+    EXPECT_LE(speedup, g + 1e-9);
+    EXPECT_GE(speedup, 1.0);
+  }
+}
+
+TEST(ComponentTest, ExpectedLatencyWeightsByProbability) {
+  ComponentSpec c = MakeSpec(0.1);
+  c.exec_probability = 0.5;
+  EXPECT_EQ(c.ExpectedLatencyOnGpcs(1), c.LatencyOnGpcs(1) / 2);
+}
+
+TEST(ComponentTest, MemoryRequiredSumsWeightsAndActivations) {
+  ComponentSpec c = MakeSpec(0.1);
+  EXPECT_EQ(c.MemoryRequired(), GiB(2));
+}
+
+TEST(ComponentTest, InvalidGpcCountThrows) {
+  ComponentSpec c = MakeSpec(0.1);
+  EXPECT_THROW(c.LatencyOnGpcs(0), FfsError);
+  EXPECT_THROW(c.LatencyOnGpcs(-1), FfsError);
+}
+
+TEST(ComponentTest, ClassNamesAreStable) {
+  EXPECT_STREQ(Name(ComponentClass::kSuperResolution), "super_resolution");
+  EXPECT_STREQ(Name(ComponentClass::kSegmentation), "segmentation");
+  EXPECT_STREQ(Name(ComponentClass::kClassification), "classification");
+  EXPECT_STREQ(Name(ComponentClass::kDeblur), "deblur");
+  EXPECT_STREQ(Name(ComponentClass::kDepthEstimation), "depth_estimation");
+  EXPECT_STREQ(Name(ComponentClass::kBackgroundRemoval),
+               "background_removal");
+}
+
+class AllClassesTest : public ::testing::TestWithParam<ComponentClass> {};
+
+TEST_P(AllClassesTest, BaseProfilesArePlausible) {
+  const ComponentBase& base = BaseProfile(GetParam());
+  EXPECT_GT(base.weights, 0);
+  EXPECT_GT(base.activations, 0);
+  EXPECT_GT(base.latency_1gpc, Millis(10));
+  EXPECT_LT(base.latency_1gpc, Seconds(1));
+  EXPECT_GT(base.serial_fraction, 0.0);
+  EXPECT_LT(base.serial_fraction, 0.5);
+  EXPECT_GT(base.output_bytes, 0);
+  // Small-variant components fit a 1g.10gb slice (Table 5).
+  EXPECT_LE(base.weights + base.activations, GiB(10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, AllClassesTest,
+    ::testing::Values(ComponentClass::kSuperResolution,
+                      ComponentClass::kSegmentation,
+                      ComponentClass::kClassification,
+                      ComponentClass::kDeblur,
+                      ComponentClass::kDepthEstimation,
+                      ComponentClass::kBackgroundRemoval));
+
+}  // namespace
+}  // namespace fluidfaas::model

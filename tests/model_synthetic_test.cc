@@ -1,0 +1,83 @@
+#include "model/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/partitioner.h"
+
+namespace fluidfaas::model {
+namespace {
+
+TEST(SyntheticAppTest, DeterministicForSeed) {
+  SyntheticAppParams p;
+  Rng a(5), b(5);
+  const AppDag da = SyntheticApp(p, a);
+  const AppDag db = SyntheticApp(p, b);
+  ASSERT_EQ(da.size(), db.size());
+  EXPECT_EQ(da.TotalMemory(), db.TotalMemory());
+  EXPECT_EQ(da.TotalLatencyOnGpcs(1), db.TotalLatencyOnGpcs(1));
+  EXPECT_EQ(da.edges().size(), db.edges().size());
+}
+
+TEST(SyntheticAppTest, RespectsRanges) {
+  SyntheticAppParams p;
+  p.components = 10;
+  p.min_memory = GiB(2);
+  p.max_memory = GiB(4);
+  p.min_latency = Millis(50);
+  p.max_latency = Millis(100);
+  Rng rng(9);
+  const AppDag dag = SyntheticApp(p, rng);
+  ASSERT_EQ(dag.size(), 10);
+  for (int i = 0; i < dag.size(); ++i) {
+    EXPECT_GE(dag.component(i).MemoryRequired(), GiB(2));
+    EXPECT_LE(dag.component(i).MemoryRequired(), GiB(4));
+    EXPECT_GE(dag.component(i).latency_1gpc, Millis(50));
+    EXPECT_LE(dag.component(i).latency_1gpc, Millis(100));
+  }
+}
+
+TEST(SyntheticAppTest, AlwaysTopological) {
+  SyntheticAppParams p;
+  p.components = 12;
+  p.skip_edge_probability = 0.4;
+  p.branch_probability = 0.3;
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const AppDag dag = SyntheticApp(p, rng);
+    EXPECT_NO_THROW(dag.Validate());
+    for (const DagEdge& e : dag.edges()) {
+      EXPECT_LT(e.from, e.to);
+    }
+  }
+}
+
+TEST(SyntheticAppTest, PartitionerHandlesLargerDags) {
+  // The paper's apps top out at 5 components; synthetic DAGs push the
+  // enumerator to its documented k <= 20 bound territory.
+  SyntheticAppParams p;
+  p.components = 12;
+  p.min_memory = GiB(1);
+  p.max_memory = GiB(6);
+  Rng rng(21);
+  const AppDag dag = SyntheticApp(p, rng);
+  auto cands = core::EnumerateRankedPipelines(dag, 12);
+  EXPECT_EQ(cands.size(), 1u << 11);  // all partitions feasible at 80 GB cap
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_LE(cands[i - 1].cv, cands[i].cv);
+  }
+}
+
+TEST(SyntheticAppTest, RejectsDegenerateParams) {
+  Rng rng(1);
+  SyntheticAppParams p;
+  p.components = 0;
+  EXPECT_THROW(SyntheticApp(p, rng), FfsError);
+  p = SyntheticAppParams{};
+  p.min_memory = GiB(5);
+  p.max_memory = GiB(1);
+  EXPECT_THROW(SyntheticApp(p, rng), FfsError);
+}
+
+}  // namespace
+}  // namespace fluidfaas::model

@@ -1,0 +1,177 @@
+// The calibration contract: the model zoo must reproduce Table 5's
+// feasibility matrix exactly (which application variant needs which minimum
+// MIG slice, monolithically and pipelined). These tests pin that matrix.
+#include "model/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/partitioner.h"
+
+namespace fluidfaas::model {
+namespace {
+
+using gpu::MigProfile;
+
+struct Table5Row {
+  int app;
+  Variant variant;
+  // Minimum profile for the monolithic (baseline) deployment; nullopt = NULL
+  // in the paper's table (no profile can host it).
+  std::optional<MigProfile> baseline_min;
+  // Minimum slice class with pipelining (the FluidFaaS column); nullopt for
+  // the excluded cell.
+  std::optional<MigProfile> fluid_min;
+};
+
+class Table5Test : public ::testing::TestWithParam<Table5Row> {};
+
+TEST_P(Table5Test, FeasibilityMatrixMatchesPaper) {
+  const Table5Row& row = GetParam();
+  const AppDag dag = BuildApp(row.app, row.variant);
+  EXPECT_EQ(core::MinMonolithicProfile(dag), row.baseline_min)
+      << dag.name() << " total=" << dag.TotalMemory();
+  if (IncludedInStudy(row.app, row.variant)) {
+    EXPECT_EQ(core::MinPipelinedProfile(dag, 4), row.fluid_min)
+        << dag.name();
+  }
+}
+
+// Note on two cells relative to the paper's Table 5 (see EXPERIMENTS.md):
+//  * App 3 / medium: the paper prints ">= 4g.40gb"; by pure memory-fit the
+//    3g.40gb profile (same 40 GB) already suffices, so this model reports
+//    3g.40gb. The 4g.40gb row is what the paper's default partition offers.
+//  * App 3 / large is excluded from the study (the paper prints NULL); its
+//    monolithic demand exceeds even 7g.80gb here so the baseline column is
+//    genuinely NULL.
+INSTANTIATE_TEST_SUITE_P(
+    Table5, Table5Test,
+    ::testing::Values(
+        Table5Row{0, Variant::kSmall, MigProfile::k1g10gb,
+                  MigProfile::k1g10gb},
+        Table5Row{0, Variant::kMedium, MigProfile::k2g20gb,
+                  MigProfile::k1g10gb},
+        Table5Row{0, Variant::kLarge, MigProfile::k3g40gb,
+                  MigProfile::k2g20gb},
+        Table5Row{1, Variant::kSmall, MigProfile::k1g10gb,
+                  MigProfile::k1g10gb},
+        Table5Row{1, Variant::kMedium, MigProfile::k2g20gb,
+                  MigProfile::k1g10gb},
+        Table5Row{1, Variant::kLarge, MigProfile::k3g40gb,
+                  MigProfile::k2g20gb},
+        Table5Row{2, Variant::kSmall, MigProfile::k1g10gb,
+                  MigProfile::k1g10gb},
+        Table5Row{2, Variant::kMedium, MigProfile::k2g20gb,
+                  MigProfile::k1g10gb},
+        Table5Row{2, Variant::kLarge, MigProfile::k3g40gb,
+                  MigProfile::k2g20gb},
+        Table5Row{3, Variant::kSmall, MigProfile::k2g20gb,
+                  MigProfile::k1g10gb},
+        Table5Row{3, Variant::kMedium, MigProfile::k3g40gb,
+                  MigProfile::k1g10gb},
+        Table5Row{3, Variant::kLarge, std::nullopt, std::nullopt}));
+
+TEST(ZooTest, AppCompositionsMatchTable4) {
+  // App 0: SR -> Seg -> Cls.
+  AppDag a0 = BuildApp(0, Variant::kSmall);
+  ASSERT_EQ(a0.size(), 3);
+  EXPECT_EQ(a0.component(0).cls, ComponentClass::kSuperResolution);
+  EXPECT_EQ(a0.component(1).cls, ComponentClass::kSegmentation);
+  EXPECT_EQ(a0.component(2).cls, ComponentClass::kClassification);
+
+  // App 1: Deblur -> SR -> Depth.
+  AppDag a1 = BuildApp(1, Variant::kSmall);
+  ASSERT_EQ(a1.size(), 3);
+  EXPECT_EQ(a1.component(0).cls, ComponentClass::kDeblur);
+  EXPECT_EQ(a1.component(2).cls, ComponentClass::kDepthEstimation);
+
+  // App 2: SR -> Deblur -> BGRemoval.
+  AppDag a2 = BuildApp(2, Variant::kSmall);
+  EXPECT_EQ(a2.component(2).cls, ComponentClass::kBackgroundRemoval);
+
+  // App 3: Deblur -> (SR | pass) -> BGRemoval -> Seg -> Cls, 5 nodes with a
+  // conditional arm.
+  AppDag a3 = BuildApp(3, Variant::kSmall);
+  ASSERT_EQ(a3.size(), 5);
+  EXPECT_EQ(a3.component(1).cls, ComponentClass::kSuperResolution);
+  EXPECT_DOUBLE_EQ(a3.component(1).exec_probability, 0.5);
+  // The bypass edge 0 -> 2 exists.
+  bool bypass = false;
+  for (const DagEdge& e : a3.edges()) {
+    if (e.from == 0 && e.to == 2) bypass = true;
+  }
+  EXPECT_TRUE(bypass);
+}
+
+TEST(ZooTest, AppNames) {
+  EXPECT_STREQ(AppName(0), "image_classification");
+  EXPECT_STREQ(AppName(1), "depth_recognition");
+  EXPECT_STREQ(AppName(2), "background_elimination");
+  EXPECT_STREQ(AppName(3), "expanded_image_classification");
+  EXPECT_THROW(AppName(4), FfsError);
+  EXPECT_THROW(BuildApp(-1, Variant::kSmall), FfsError);
+}
+
+TEST(ZooTest, VariantsScaleMonotonically) {
+  for (int a = 0; a < kNumApps; ++a) {
+    const AppDag small = BuildApp(a, Variant::kSmall);
+    const AppDag medium = BuildApp(a, Variant::kMedium);
+    const AppDag large = BuildApp(a, Variant::kLarge);
+    EXPECT_LT(small.TotalMemory(), medium.TotalMemory());
+    EXPECT_LT(medium.TotalMemory(), large.TotalMemory());
+    EXPECT_LT(small.TotalLatencyOnGpcs(1), medium.TotalLatencyOnGpcs(1));
+    EXPECT_LT(medium.TotalLatencyOnGpcs(1), large.TotalLatencyOnGpcs(1));
+  }
+}
+
+TEST(ZooTest, ExclusionOnlyApp3Large) {
+  for (int a = 0; a < kNumApps; ++a) {
+    for (Variant v : kAllVariants) {
+      EXPECT_EQ(IncludedInStudy(a, v),
+                !(a == 3 && v == Variant::kLarge));
+    }
+  }
+}
+
+TEST(ZooTest, BuildStudyAppsSkipsExcluded) {
+  EXPECT_EQ(BuildStudyApps(Variant::kSmall).size(), 4u);
+  EXPECT_EQ(BuildStudyApps(Variant::kMedium).size(), 4u);
+  EXPECT_EQ(BuildStudyApps(Variant::kLarge).size(), 3u);
+}
+
+TEST(ZooTest, SameInputsGiveIdenticalDags) {
+  const AppDag a = BuildApp(2, Variant::kMedium);
+  const AppDag b = BuildApp(2, Variant::kMedium);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.component(i).MemoryRequired(), b.component(i).MemoryRequired());
+    EXPECT_EQ(a.component(i).latency_1gpc, b.component(i).latency_1gpc);
+  }
+}
+
+TEST(ZooTest, MediumComponentsEachFitOneGSlice) {
+  // FluidFaaS's Table 5 claim for medium variants: every stage can sit on a
+  // 1g.10gb slice, i.e. every single component fits 10 GB.
+  for (int a = 0; a < kNumApps; ++a) {
+    const AppDag dag = BuildApp(a, Variant::kMedium);
+    for (int i = 0; i < dag.size(); ++i) {
+      EXPECT_LE(dag.component(i).MemoryRequired(), GiB(10))
+          << dag.name() << " component " << i;
+    }
+  }
+}
+
+TEST(ZooTest, LargeComponentsOfStudyAppsFitTwoGSlice) {
+  // Heavy tier: per-stage memory stays within 2g.20gb for apps 0-2.
+  for (int a = 0; a < 3; ++a) {
+    const AppDag dag = BuildApp(a, Variant::kLarge);
+    for (int i = 0; i < dag.size(); ++i) {
+      EXPECT_LE(dag.component(i).MemoryRequired(), GiB(20))
+          << dag.name() << " component " << i;
+      EXPECT_GT(dag.TotalMemory(), GiB(20));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluidfaas::model

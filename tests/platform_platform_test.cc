@@ -1,0 +1,204 @@
+#include "platform/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "model/zoo.h"
+
+namespace fluidfaas::platform {
+namespace {
+
+std::vector<FunctionSpec> StudyFunctions(model::Variant v) {
+  std::vector<FunctionSpec> fns;
+  int id = 0;
+  for (auto& dag : model::BuildStudyApps(v)) {
+    const int app = id;  // app order == id order for included variants
+    fns.push_back(MakeFunctionSpec(FunctionId(id++), app, v, dag, 1.5));
+  }
+  return fns;
+}
+
+/// Minimal concrete platform: routes every request to a single monolithic
+/// instance per function, created on demand. Exposes the protected helpers
+/// under test.
+class TestPlatform : public Platform {
+ public:
+  using Platform::ArrivalRate;
+  using Platform::DrainOrRetire;
+  using Platform::IsWarm;
+  using Platform::LaunchInstance;
+  using Platform::LoadTime;
+  using Platform::RetireInstance;
+  using Platform::TickUtilization;
+  using Platform::TouchWarm;
+
+  TestPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+               metrics::Recorder& recorder, std::vector<FunctionSpec> fns,
+               PlatformConfig config)
+      : Platform(sim, cluster, recorder, std::move(fns), config) {}
+
+  std::string name() const override { return "test"; }
+
+  int route_calls = 0;
+  bool accept = true;
+
+ protected:
+  bool Route(RequestId rid, FunctionId fn) override {
+    ++route_calls;
+    if (!accept) return false;
+    auto insts = InstancesOf(fn);
+    Instance* inst = nullptr;
+    for (Instance* i : insts) {
+      if (i->CanAdmit()) inst = i;
+    }
+    if (inst == nullptr) {
+      const FunctionSpec& spec = function(fn);
+      auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+      if (!sid) return false;
+      inst = LaunchInstance(spec,
+                            *core::MonolithicPlanOnSlice(spec.dag, cluster(),
+                                                         *sid),
+                            IsWarm(fn));
+    }
+    inst->Enqueue(rid, JitterOf(rid));
+    return true;
+  }
+  void AutoscaleTick() override {}
+};
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  PlatformTest()
+      : cluster_(gpu::Cluster::Uniform(1, 2, gpu::DefaultPartition())),
+        recorder_(cluster_),
+        plat_(sim_, cluster_, recorder_,
+              StudyFunctions(model::Variant::kSmall), PlatformConfig{}) {}
+
+  sim::Simulator sim_;
+  gpu::Cluster cluster_;
+  metrics::Recorder recorder_;
+  TestPlatform plat_;
+};
+
+TEST_F(PlatformTest, SubmitCreatesRecordWithSloDeadline) {
+  const RequestId rid = plat_.Submit(FunctionId(0));
+  const auto& rec = recorder_.record(rid);
+  EXPECT_EQ(rec.fn, FunctionId(0));
+  EXPECT_EQ(rec.arrival, 0);
+  EXPECT_EQ(rec.deadline, plat_.function(FunctionId(0)).slo);
+  EXPECT_EQ(plat_.route_calls, 1);
+}
+
+TEST_F(PlatformTest, LaunchBindsSlicesAndRetireReleases) {
+  const FunctionSpec& spec = plat_.function(FunctionId(0));
+  auto plan = core::MonolithicPlanOnSlice(
+      spec.dag, cluster_, *cluster_.SmallestFreeSliceWithMemory(
+                              spec.total_memory));
+  const SliceId used = plan->stages[0].slice;
+  Instance* inst = plat_.LaunchInstance(spec, *plan, /*warm=*/false);
+  EXPECT_FALSE(cluster_.slice(used).free());
+  EXPECT_EQ(cluster_.slice(used).occupant, inst->id());
+  sim_.Run();  // finish loading
+  plat_.RetireInstance(inst);
+  EXPECT_TRUE(cluster_.slice(used).free());
+  EXPECT_EQ(inst->state(), InstanceState::kRetired);
+  // Retiring marks the function warm.
+  EXPECT_TRUE(plat_.IsWarm(FunctionId(0)));
+}
+
+TEST_F(PlatformTest, ColdThenWarmLoadTimes) {
+  EXPECT_FALSE(plat_.IsWarm(FunctionId(0)));
+  const SimDuration cold = plat_.LoadTime(FunctionId(0), GiB(2));
+  plat_.TouchWarm(FunctionId(0));
+  const SimDuration warm = plat_.LoadTime(FunctionId(0), GiB(2));
+  EXPECT_LT(warm, cold);
+}
+
+TEST_F(PlatformTest, WarmExpiresAfterTimeout) {
+  plat_.TouchWarm(FunctionId(0));
+  EXPECT_TRUE(plat_.IsWarm(FunctionId(0)));
+  sim_.RunUntil(plat_.config().warm_timeout + Seconds(1));
+  EXPECT_FALSE(plat_.IsWarm(FunctionId(0)));
+}
+
+TEST_F(PlatformTest, PendingRequestsRetryOnCompletion) {
+  plat_.accept = false;
+  plat_.Submit(FunctionId(0));
+  EXPECT_EQ(plat_.PendingCount(), 1u);
+  plat_.accept = true;
+  // A completion of some other request triggers DispatchPending; simplest
+  // trigger here: submit one that is accepted and let it finish.
+  plat_.Submit(FunctionId(0));
+  sim_.Run();
+  EXPECT_EQ(plat_.PendingCount(), 0u);
+  EXPECT_EQ(recorder_.completed_requests(), 2u);
+}
+
+TEST_F(PlatformTest, StartRunsAutoscaleAndDispatchesPending) {
+  plat_.Start();
+  plat_.accept = false;
+  plat_.Submit(FunctionId(1));
+  EXPECT_EQ(plat_.PendingCount(), 1u);
+  plat_.accept = true;
+  sim_.RunUntil(Seconds(2));  // a few autoscale ticks
+  EXPECT_EQ(plat_.PendingCount(), 0u);
+  plat_.Stop();
+}
+
+TEST_F(PlatformTest, ArrivalRateTracksSubmissions) {
+  plat_.Start();
+  // 20 requests per second for 5 seconds.
+  for (int t = 0; t < 5000; t += 50) {
+    sim_.At(Millis(t), [this] { plat_.Submit(FunctionId(0)); });
+  }
+  sim_.RunUntil(Seconds(5));
+  EXPECT_NEAR(plat_.ArrivalRate(FunctionId(0)), 20.0, 4.0);
+  plat_.Stop();
+}
+
+TEST_F(PlatformTest, TickUtilizationReflectsBusyFraction) {
+  plat_.Start();
+  const RequestId rid = plat_.Submit(FunctionId(0));
+  (void)rid;
+  auto insts = plat_.InstancesOf(FunctionId(0));
+  ASSERT_EQ(insts.size(), 1u);
+  sim_.RunUntil(Seconds(30));
+  // Prime the snapshot, wait an idle second, utilization ~0.
+  plat_.TickUtilization(insts[0]);
+  sim_.RunUntil(Seconds(31));
+  EXPECT_NEAR(plat_.TickUtilization(insts[0]), 0.0, 1e-9);
+  plat_.Stop();
+}
+
+TEST_F(PlatformTest, DrainOrRetireImmediateWhenIdle) {
+  plat_.Submit(FunctionId(0));
+  sim_.Run();
+  auto insts = plat_.InstancesOf(FunctionId(0));
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_TRUE(plat_.DrainOrRetire(insts[0]));
+  EXPECT_EQ(insts[0]->state(), InstanceState::kRetired);
+}
+
+TEST_F(PlatformTest, DrainOrRetireDefersWhenBusy) {
+  plat_.Submit(FunctionId(0));
+  auto insts = plat_.InstancesOf(FunctionId(0));
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_FALSE(plat_.DrainOrRetire(insts[0]));
+  EXPECT_EQ(insts[0]->state(), InstanceState::kDraining);
+  sim_.Run();
+}
+
+TEST_F(PlatformTest, JitterIsNearUnit) {
+  // With the default 5% CV, sampled jitter stays within a sane band.
+  for (int i = 0; i < 100; ++i) {
+    const RequestId rid = plat_.Submit(FunctionId(0));
+    (void)rid;
+  }
+  sim_.Run();
+  for (const auto& rec : recorder_.records()) {
+    EXPECT_GT(rec.exec_time, 0);
+  }
+}
+
+}  // namespace
+}  // namespace fluidfaas::platform

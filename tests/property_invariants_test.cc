@@ -1,0 +1,169 @@
+// Property tests pitting library components against brute-force reference
+// implementations on randomized inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gpu/cluster.h"
+
+namespace fluidfaas {
+namespace {
+
+// --- TimeWeightedSignal vs brute-force integration -------------------------
+
+TEST(TimeWeightedSignalProperty, MeanMatchesBruteForceIntegration) {
+  Rng rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    TimeWeightedSignal sig;
+    std::vector<std::pair<SimTime, double>> points;
+    SimTime t = 0;
+    for (int i = 0; i < 30; ++i) {
+      t += rng.UniformInt(1, Seconds(5.0));
+      const double v = rng.Uniform(0.0, 100.0);
+      sig.Record(t, v);
+      points.emplace_back(t, v);
+    }
+    const SimTime end = t + rng.UniformInt(1, Seconds(5.0));
+    sig.Close(end);
+
+    // Random query windows, compared to a straightforward scan.
+    for (int q = 0; q < 10; ++q) {
+      // The brute force is O(window x points); keep windows small.
+      SimTime b = rng.UniformInt(0, end - 1);
+      SimTime e = b + rng.UniformInt(1, std::min<SimTime>(end - b,
+                                                          Seconds(0.02)));
+      double integral = 0.0;
+      for (SimTime step = b; step < e; ++step) {
+        double v = 0.0;
+        for (const auto& [pt, pv] : points) {
+          if (pt <= step) v = pv;
+        }
+        integral += v;
+      }
+      EXPECT_NEAR(sig.MeanOver(b, e),
+                  integral / static_cast<double>(e - b), 1e-6)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(TimeWeightedSignalProperty, FractionAtOrBelowComplement) {
+  Rng rng(405);
+  for (int trial = 0; trial < 20; ++trial) {
+    TimeWeightedSignal sig;
+    SimTime t = 0;
+    for (int i = 0; i < 20; ++i) {
+      t += rng.UniformInt(1, Seconds(2.0));
+      sig.Record(t, rng.Uniform(0.0, 10.0));
+    }
+    const SimTime end = t + Seconds(1.0);
+    sig.Close(end);
+    const double thr = rng.Uniform(0.0, 10.0);
+    const double below = sig.FractionAtOrBelow(thr, 0, end);
+    EXPECT_GE(below, 0.0);
+    EXPECT_LE(below, 1.0);
+    // Monotone in the threshold.
+    EXPECT_LE(below, sig.FractionAtOrBelow(thr + 1.0, 0, end) + 1e-12);
+  }
+}
+
+// --- Cluster bind/release vs a reference occupancy map ---------------------
+
+TEST(ClusterProperty, RandomBindReleaseMatchesReferenceModel) {
+  Rng rng(406);
+  for (int trial = 0; trial < 15; ++trial) {
+    auto part = gpu::EnumerateMaximalPartitions()[static_cast<std::size_t>(
+        rng.UniformInt(0, 18))];
+    gpu::Cluster cluster = gpu::Cluster::Uniform(1, 3, part);
+    std::map<std::int32_t, std::int32_t> reference;  // slice -> instance
+
+    for (int step = 0; step < 300; ++step) {
+      const auto all = cluster.AllSlices();
+      const SliceId sid = all[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(all.size()) - 1))];
+      if (reference.count(sid.value)) {
+        if (rng.Chance(0.7)) {
+          cluster.Release(sid, InstanceId(reference[sid.value]));
+          reference.erase(sid.value);
+        } else {
+          // Double bind must throw and change nothing.
+          EXPECT_THROW(cluster.Bind(sid, InstanceId(9999)), FfsError);
+        }
+      } else {
+        const auto inst = static_cast<std::int32_t>(step + 1);
+        cluster.Bind(sid, InstanceId(inst));
+        reference[sid.value] = inst;
+      }
+      // Invariants after every step.
+      int bound_gpcs = 0;
+      for (SliceId s : cluster.AllSlices()) {
+        const auto& slice = cluster.slice(s);
+        if (reference.count(s.value)) {
+          EXPECT_EQ(slice.occupant.value, reference[s.value]);
+          bound_gpcs += slice.gpcs();
+        } else {
+          EXPECT_TRUE(slice.free());
+        }
+      }
+      EXPECT_EQ(cluster.BoundGpcs(), bound_gpcs);
+      EXPECT_EQ(cluster.FreeSlices().size(),
+                cluster.num_slices() - reference.size());
+    }
+  }
+}
+
+TEST(ClusterProperty, RepartitionPreservesOtherGpus) {
+  Rng rng(407);
+  gpu::Cluster cluster = gpu::Cluster::Uniform(1, 3, gpu::DefaultPartition());
+  // Bind something on GPU 1 and 2.
+  std::vector<std::pair<SliceId, InstanceId>> kept;
+  for (SliceId sid : cluster.AllSlices()) {
+    const auto& s = cluster.slice(sid);
+    if (s.gpu.value > 0 && rng.Chance(0.5)) {
+      const InstanceId inst(sid.value + 100);
+      cluster.Bind(sid, inst);
+      kept.emplace_back(sid, inst);
+    }
+  }
+  const auto parts = gpu::EnumerateMaximalPartitions();
+  for (int round = 0; round < 5; ++round) {
+    const auto& target = parts[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(parts.size()) - 1))];
+    cluster.RepartitionGpu(GpuId(0), target);
+    // GPU 0 swapped; everything bound elsewhere is untouched.
+    for (const auto& [sid, inst] : kept) {
+      EXPECT_EQ(cluster.slice(sid).occupant, inst);
+    }
+    EXPECT_EQ(cluster.gpu(GpuId(0)).partition().Profiles(),
+              target.Profiles());
+  }
+}
+
+// --- RunningStats::Merge associativity --------------------------------------
+
+TEST(RunningStatsProperty, MergeIsOrderInsensitive) {
+  Rng rng(408);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 200; ++i) xs.push_back(rng.Normal(5.0, 3.0));
+    RunningStats a, b, c, left, right;
+    for (int i = 0; i < 200; ++i) {
+      (i % 3 == 0 ? a : (i % 3 == 1 ? b : c)).Add(xs[static_cast<std::size_t>(i)]);
+    }
+    left = a;
+    left.Merge(b);
+    left.Merge(c);
+    right = c;
+    right.Merge(a);
+    right.Merge(b);
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_NEAR(left.mean(), right.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), right.variance(), 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace fluidfaas

@@ -1,0 +1,163 @@
+#include "runtime/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fluidfaas::runtime {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(SpscRingTest, SingleThreadFifo) {
+  SpscByteRing ring(1024);
+  EXPECT_TRUE(ring.TryPush("hello", 5));
+  EXPECT_TRUE(ring.TryPush("world!", 6));
+  auto a = ring.TryPop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Bytes("hello"));
+  auto b = ring.TryPop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, Bytes("world!"));
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, EmptyFramesAreLegal) {
+  SpscByteRing ring(64);
+  EXPECT_TRUE(ring.TryPush(nullptr, 0));
+  auto f = ring.TryPop();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->empty());
+}
+
+TEST(SpscRingTest, TryPushFailsWhenFull) {
+  SpscByteRing ring(64);
+  int pushed = 0;
+  while (ring.TryPush("0123456789", 10)) ++pushed;
+  EXPECT_GT(pushed, 0);
+  // Draining one frame admits another.
+  ASSERT_TRUE(ring.TryPop().has_value());
+  EXPECT_TRUE(ring.TryPush("0123456789", 10));
+}
+
+TEST(SpscRingTest, WrapsAroundTheBufferEdge) {
+  SpscByteRing ring(64);
+  // Alternate push/pop so indices march across the wrap point repeatedly.
+  for (int i = 0; i < 100; ++i) {
+    const std::string payload = "payload-" + std::to_string(i);
+    ASSERT_TRUE(ring.TryPush(payload.data(),
+                             static_cast<std::uint32_t>(payload.size())));
+    auto f = ring.TryPop();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(*f, Bytes(payload));
+  }
+  EXPECT_EQ(ring.pushed(), 100u);
+  EXPECT_EQ(ring.popped(), 100u);
+}
+
+TEST(SpscRingTest, OversizedFrameThrows) {
+  SpscByteRing ring(64);
+  std::vector<char> big(100);
+  EXPECT_THROW(ring.TryPush(big.data(), 100), FfsError);
+}
+
+TEST(SpscRingTest, TooSmallCapacityThrows) {
+  EXPECT_THROW(SpscByteRing(8), FfsError);
+}
+
+TEST(SpscRingTest, CloseDrainsThenSignalsEnd) {
+  SpscByteRing ring(256);
+  ring.TryPush("last", 4);
+  ring.Close();
+  EXPECT_TRUE(ring.closed());
+  auto f = ring.Pop();  // still delivers the buffered frame
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, Bytes("last"));
+  EXPECT_FALSE(ring.Pop().has_value());
+  EXPECT_FALSE(ring.Push("x", 1));
+}
+
+TEST(SpscRingTest, BlockingHandOffAcrossThreads) {
+  SpscByteRing ring(1 << 12);
+  constexpr int kFrames = 20000;
+  std::thread producer([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      ASSERT_TRUE(ring.Push(&i, sizeof(i)));
+    }
+    ring.Close();
+  });
+  int received = 0;
+  while (auto f = ring.Pop()) {
+    ASSERT_EQ(f->size(), sizeof(int));
+    int v;
+    std::memcpy(&v, f->data(), sizeof(v));
+    ASSERT_EQ(v, received);  // strict FIFO
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kFrames);
+}
+
+TEST(SpscRingTest, VariableSizedFramesSurviveContention) {
+  SpscByteRing ring(1 << 10);  // small ring forces frequent blocking
+  Rng rng(77);
+  std::vector<std::vector<std::byte>> sent;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::byte> frame(
+        static_cast<std::size_t>(rng.UniformInt(0, 200)));
+    for (auto& b : frame) {
+      b = static_cast<std::byte>(rng.UniformInt(0, 255));
+    }
+    sent.push_back(std::move(frame));
+  }
+  std::thread producer([&] {
+    for (const auto& f : sent) {
+      ASSERT_TRUE(ring.Push(f.data(), static_cast<std::uint32_t>(f.size())));
+    }
+    ring.Close();
+  });
+  std::size_t idx = 0;
+  while (auto f = ring.Pop()) {
+    ASSERT_LT(idx, sent.size());
+    ASSERT_EQ(*f, sent[idx]);
+    ++idx;
+  }
+  producer.join();
+  EXPECT_EQ(idx, sent.size());
+}
+
+TEST(SpscRingTest, CloseUnblocksWaitingConsumer) {
+  SpscByteRing ring(256);
+  std::thread consumer([&] {
+    auto f = ring.Pop();  // blocks until close
+    EXPECT_FALSE(f.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.Close();
+  consumer.join();
+}
+
+TEST(SpscRingTest, CloseUnblocksWaitingProducer) {
+  SpscByteRing ring(64);
+  while (ring.TryPush("0123456789", 10)) {
+  }
+  std::thread producer([&] {
+    EXPECT_FALSE(ring.Push("0123456789", 10));  // blocked, then closed
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.Close();
+  producer.join();
+}
+
+}  // namespace
+}  // namespace fluidfaas::runtime

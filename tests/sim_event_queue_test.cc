@@ -1,0 +1,126 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fluidfaas::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.PeekTime(), kTimeInfinity);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.Schedule(5, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.PeekTime(), kTimeInfinity);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.Schedule(5, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(0));
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1, [&] { order.push_back(1); });
+  const EventId id = q.Schedule(2, [&] { order.push_back(2); });
+  q.Schedule(3, [&] { order.push_back(3); });
+  q.Cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, PeekSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  q.Cancel(id);
+  EXPECT_EQ(q.PeekTime(), 2);
+}
+
+TEST(EventQueueTest, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW(q.Schedule(-1, [] {}), FfsError);
+}
+
+TEST(EventQueueTest, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.Pop(), FfsError);
+}
+
+TEST(EventQueueTest, StressRandomOrderIsSorted) {
+  EventQueue q;
+  Rng rng(1234);
+  for (int i = 0; i < 5000; ++i) {
+    q.Schedule(rng.UniformInt(0, 1000), [] {});
+  }
+  SimTime prev = -1;
+  while (!q.empty()) {
+    auto fired = q.Pop();
+    ASSERT_GE(fired.time, prev);
+    prev = fired.time;
+  }
+}
+
+TEST(EventQueueTest, StressWithRandomCancellation) {
+  EventQueue q;
+  Rng rng(99);
+  std::vector<EventId> ids;
+  int executed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(q.Schedule(rng.UniformInt(0, 500),
+                             [&executed] { ++executed; }));
+  }
+  int cancelled = 0;
+  for (EventId id : ids) {
+    if (rng.Chance(0.5) && q.Cancel(id)) ++cancelled;
+  }
+  EXPECT_EQ(q.size(), 2000u - cancelled);
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(executed, 2000 - cancelled);
+}
+
+}  // namespace
+}  // namespace fluidfaas::sim

@@ -1,0 +1,77 @@
+#include "tools/cli_args.h"
+
+#include <gtest/gtest.h>
+
+namespace fluidfaas::tools {
+namespace {
+
+std::vector<char*> Argv(std::vector<std::string>& storage) {
+  std::vector<char*> out;
+  for (auto& s : storage) out.push_back(s.data());
+  return out;
+}
+
+TEST(CliArgsTest, ParsesKeyValuePairs) {
+  std::vector<std::string> raw = {"prog", "cmd", "--tier", "heavy",
+                                  "--nodes", "4", "--load", "0.5"};
+  auto argv = Argv(raw);
+  CliArgs args(static_cast<int>(argv.size()), argv.data(), 2,
+               {"tier", "nodes", "load"});
+  EXPECT_EQ(args.GetString("tier", "x"), "heavy");
+  EXPECT_EQ(args.GetInt("nodes", 0), 4);
+  EXPECT_DOUBLE_EQ(args.GetDouble("load", 0.0), 0.5);
+  EXPECT_TRUE(args.Has("tier"));
+  EXPECT_FALSE(args.Has("seed"));
+}
+
+TEST(CliArgsTest, DefaultsWhenAbsent) {
+  std::vector<std::string> raw = {"prog", "cmd"};
+  auto argv = Argv(raw);
+  CliArgs args(static_cast<int>(argv.size()), argv.data(), 2, {"tier"});
+  EXPECT_EQ(args.GetString("tier", "medium"), "medium");
+  EXPECT_EQ(args.GetInt("tier", 7), 7);
+  EXPECT_DOUBLE_EQ(args.GetDouble("tier", 1.5), 1.5);
+}
+
+TEST(CliArgsTest, RejectsUnknownFlag) {
+  std::vector<std::string> raw = {"prog", "cmd", "--bogus", "1"};
+  auto argv = Argv(raw);
+  EXPECT_THROW(
+      CliArgs(static_cast<int>(argv.size()), argv.data(), 2, {"tier"}),
+      FfsError);
+}
+
+TEST(CliArgsTest, RejectsMissingValue) {
+  std::vector<std::string> raw = {"prog", "cmd", "--tier"};
+  auto argv = Argv(raw);
+  EXPECT_THROW(
+      CliArgs(static_cast<int>(argv.size()), argv.data(), 2, {"tier"}),
+      FfsError);
+}
+
+TEST(CliArgsTest, RejectsBareValue) {
+  std::vector<std::string> raw = {"prog", "cmd", "heavy"};
+  auto argv = Argv(raw);
+  EXPECT_THROW(
+      CliArgs(static_cast<int>(argv.size()), argv.data(), 2, {"tier"}),
+      FfsError);
+}
+
+TEST(CliArgsTest, RejectsNonNumericValues) {
+  std::vector<std::string> raw = {"prog", "cmd", "--nodes", "four"};
+  auto argv = Argv(raw);
+  CliArgs args(static_cast<int>(argv.size()), argv.data(), 2, {"nodes"});
+  EXPECT_THROW(args.GetInt("nodes", 0), FfsError);
+  EXPECT_THROW(args.GetDouble("nodes", 0.0), FfsError);
+}
+
+TEST(CliArgsTest, LastOccurrenceWins) {
+  std::vector<std::string> raw = {"prog", "cmd", "--seed", "1", "--seed",
+                                  "2"};
+  auto argv = Argv(raw);
+  CliArgs args(static_cast<int>(argv.size()), argv.data(), 2, {"seed"});
+  EXPECT_EQ(args.GetInt("seed", 0), 2);
+}
+
+}  // namespace
+}  // namespace fluidfaas::tools

@@ -1,0 +1,122 @@
+#include "trace/azure_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fluidfaas::trace {
+namespace {
+
+std::string SampleCsv() {
+  // Three functions, 4 minute buckets each (abbreviated dataset shape).
+  return "HashOwner,HashApp,HashFunction,Trigger,1,2,3,4\n"
+         "o1,a1,f_hot,http,100,200,150,50\n"
+         "o1,a1,f_warm,timer,10,0,5,5\n"
+         "o2,a2,f_cold,queue,0,1,0,0\n";
+}
+
+TEST(AzureLoaderTest, ParsesRowsAndTotals) {
+  std::stringstream in(SampleCsv());
+  auto rows = LoadAzureDataset(in);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].function_hash, "f_hot");
+  EXPECT_EQ(rows[0].trigger, "http");
+  EXPECT_EQ(rows[0].per_minute, (std::vector<int>{100, 200, 150, 50}));
+  EXPECT_EQ(rows[0].total, 500u);
+  EXPECT_EQ(rows[2].total, 1u);
+}
+
+TEST(AzureLoaderTest, RejectsWrongHeader) {
+  std::stringstream in("time_us,function_id\n1,2\n");
+  EXPECT_THROW(LoadAzureDataset(in), FfsError);
+}
+
+TEST(AzureLoaderTest, RejectsMalformedCounts) {
+  std::stringstream in(
+      "HashOwner,HashApp,HashFunction,Trigger,1,2\no,a,f,http,3,oops\n");
+  EXPECT_THROW(LoadAzureDataset(in), FfsError);
+}
+
+TEST(AzureLoaderTest, EmptyBucketsAreZero) {
+  std::stringstream in(
+      "HashOwner,HashApp,HashFunction,Trigger,1,2,3\no,a,f,http,5,,7\n");
+  auto rows = LoadAzureDataset(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].per_minute, (std::vector<int>{5, 0, 7}));
+  EXPECT_EQ(rows[0].total, 12u);
+}
+
+TEST(AzureExpandTest, VolumeMatchesBucketsAndRankingOrdersIds) {
+  std::stringstream in(SampleCsv());
+  auto rows = LoadAzureDataset(in);
+  AzureExpandOptions opt;
+  opt.num_functions = 2;  // top-2: f_hot, f_warm
+  opt.minutes = 4;
+  opt.count_scale = 1.0;
+  const Trace t = ExpandAzureDataset(rows, opt);
+
+  std::map<std::int32_t, int> per_fn;
+  for (const auto& inv : t) per_fn[inv.fn.value]++;
+  EXPECT_EQ(per_fn[0], 500);  // f_hot -> FunctionId(0)
+  EXPECT_EQ(per_fn[1], 20);   // f_warm -> FunctionId(1)
+  EXPECT_EQ(per_fn.count(2), 0u);  // f_cold not selected
+}
+
+TEST(AzureExpandTest, ArrivalsStayInsideTheirMinuteBuckets) {
+  std::stringstream in(
+      "HashOwner,HashApp,HashFunction,Trigger,1,2\no,a,f,http,0,30\n");
+  auto rows = LoadAzureDataset(in);
+  AzureExpandOptions opt;
+  opt.num_functions = 1;
+  opt.minutes = 2;
+  const Trace t = ExpandAzureDataset(rows, opt);
+  ASSERT_EQ(t.size(), 30u);
+  for (const auto& inv : t) {
+    EXPECT_GE(inv.time, Seconds(60));   // bucket 1 is empty
+    EXPECT_LT(inv.time, Seconds(120));  // all mass in bucket 2
+  }
+  // Sorted.
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t[i].time, t[i - 1].time);
+  }
+}
+
+TEST(AzureExpandTest, CountScaleScalesExpectedVolume) {
+  std::stringstream in(SampleCsv());
+  auto rows = LoadAzureDataset(in);
+  AzureExpandOptions opt;
+  opt.num_functions = 1;
+  opt.minutes = 4;
+  opt.count_scale = 0.1;
+  opt.seed = 99;
+  const Trace t = ExpandAzureDataset(rows, opt);
+  // Expected 50 arrivals (500 x 0.1); stochastic rounding keeps it close.
+  EXPECT_NEAR(static_cast<double>(t.size()), 50.0, 15.0);
+}
+
+TEST(AzureExpandTest, DeterministicForSeed) {
+  std::stringstream in1(SampleCsv()), in2(SampleCsv());
+  auto r1 = LoadAzureDataset(in1);
+  auto r2 = LoadAzureDataset(in2);
+  AzureExpandOptions opt;
+  opt.seed = 31;
+  EXPECT_EQ(ExpandAzureDataset(r1, opt), ExpandAzureDataset(r2, opt));
+}
+
+TEST(AzureExpandTest, RejectsDegenerateOptions) {
+  std::stringstream in(SampleCsv());
+  auto rows = LoadAzureDataset(in);
+  AzureExpandOptions opt;
+  opt.num_functions = 0;
+  EXPECT_THROW(ExpandAzureDataset(rows, opt), FfsError);
+  opt = AzureExpandOptions{};
+  opt.count_scale = 0.0;
+  EXPECT_THROW(ExpandAzureDataset(rows, opt), FfsError);
+  EXPECT_THROW(ExpandAzureDataset({}, AzureExpandOptions{}), FfsError);
+}
+
+}  // namespace
+}  // namespace fluidfaas::trace

@@ -1,0 +1,92 @@
+#include "trace/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace fluidfaas::trace {
+namespace {
+
+gpu::Cluster PaperCluster() {
+  return gpu::Cluster::Uniform(2, 8, gpu::DefaultPartition());
+}
+
+TEST(WorkloadTest, TierVariantMapping) {
+  EXPECT_EQ(VariantOf(WorkloadTier::kLight), model::Variant::kSmall);
+  EXPECT_EQ(VariantOf(WorkloadTier::kMedium), model::Variant::kMedium);
+  EXPECT_EQ(VariantOf(WorkloadTier::kHeavy), model::Variant::kLarge);
+  EXPECT_STREQ(Name(WorkloadTier::kLight), "light");
+  EXPECT_STREQ(Name(WorkloadTier::kHeavy), "heavy");
+}
+
+TEST(WorkloadTest, FunctionSetsFollowStudyInclusion) {
+  gpu::Cluster cluster = PaperCluster();
+  WorkloadParams p;
+  p.duration = Seconds(10);
+  EXPECT_EQ(MakeWorkload(WorkloadTier::kLight, cluster, p).functions.size(),
+            4u);
+  EXPECT_EQ(MakeWorkload(WorkloadTier::kMedium, cluster, p).functions.size(),
+            4u);
+  // App 3 large is excluded.
+  EXPECT_EQ(MakeWorkload(WorkloadTier::kHeavy, cluster, p).functions.size(),
+            3u);
+}
+
+TEST(WorkloadTest, OfferedRateScalesWithClusterAndFactor) {
+  gpu::Cluster big = PaperCluster();
+  gpu::Cluster small = gpu::Cluster::Uniform(1, 2, gpu::DefaultPartition());
+  WorkloadParams p;
+  p.duration = Seconds(30);
+  const Workload wb = MakeWorkload(WorkloadTier::kLight, big, p);
+  const Workload ws = MakeWorkload(WorkloadTier::kLight, small, p);
+  EXPECT_NEAR(wb.offered_rps / ws.offered_rps, 8.0, 1e-6);  // 16 vs 2 GPUs
+  EXPECT_GT(wb.ideal_rps, wb.offered_rps);
+
+  p.load_factor = 0.8;
+  const Workload dense = MakeWorkload(WorkloadTier::kLight, big, p);
+  EXPECT_NEAR(dense.offered_rps, 0.8 * dense.ideal_rps, 1e-6);
+}
+
+TEST(WorkloadTest, TraceMatchesOfferedRate) {
+  gpu::Cluster cluster = PaperCluster();
+  WorkloadParams p;
+  p.duration = Seconds(300);
+  const Workload w = MakeWorkload(WorkloadTier::kMedium, cluster, p);
+  EXPECT_NEAR(MeanRps(w.trace, p.duration), w.offered_rps,
+              0.2 * w.offered_rps);
+  for (const Invocation& inv : w.trace) {
+    EXPECT_GE(inv.fn.value, 0);
+    EXPECT_LT(static_cast<std::size_t>(inv.fn.value), w.functions.size());
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  gpu::Cluster cluster = PaperCluster();
+  WorkloadParams p;
+  p.duration = Seconds(30);
+  p.seed = 5;
+  const Workload a = MakeWorkload(WorkloadTier::kLight, cluster, p);
+  const Workload b = MakeWorkload(WorkloadTier::kLight, cluster, p);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.offered_rps, b.offered_rps);
+}
+
+TEST(WorkloadTest, TierLoadFactorsAreOrdered) {
+  // Light is the headroom tier.
+  EXPECT_LT(DefaultLoadFactor(WorkloadTier::kLight),
+            DefaultLoadFactor(WorkloadTier::kMedium));
+}
+
+TEST(WorkloadTest, FunctionSpecsCarryTierVariant) {
+  gpu::Cluster cluster = PaperCluster();
+  WorkloadParams p;
+  p.duration = Seconds(10);
+  const Workload w = MakeWorkload(WorkloadTier::kHeavy, cluster, p);
+  for (const auto& f : w.functions) {
+    EXPECT_EQ(f.variant, model::Variant::kLarge);
+    EXPECT_GT(f.slo, 0);
+  }
+}
+
+}  // namespace
+}  // namespace fluidfaas::trace

@@ -1,0 +1,68 @@
+// Minimal `--key value` command-line parsing for the fluidfaas CLI.
+// Flags may appear in any order; unknown keys are rejected up front so
+// typos fail loudly instead of silently using defaults.
+#pragma once
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fluidfaas::tools {
+
+class CliArgs {
+ public:
+  /// Parse argv[first..): alternating "--key value" pairs. `allowed`
+  /// is the full set of recognized keys (without the leading dashes).
+  CliArgs(int argc, char** argv, int first,
+          const std::set<std::string>& allowed) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw FfsError("expected --flag, got: " + key);
+      }
+      key = key.substr(2);
+      if (!allowed.count(key)) {
+        throw FfsError("unknown flag: --" + key);
+      }
+      if (i + 1 >= argc) {
+        throw FfsError("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::istringstream ss(it->second);
+    double v;
+    if (!(ss >> v)) throw FfsError("--" + key + " expects a number");
+    return v;
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::istringstream ss(it->second);
+    long v;
+    if (!(ss >> v)) throw FfsError("--" + key + " expects an integer");
+    return v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fluidfaas::tools

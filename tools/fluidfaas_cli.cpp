@@ -1,0 +1,262 @@
+// fluidfaas — command-line front end for the simulator.
+//
+//   fluidfaas run   [--tier light|medium|heavy] [--system fluidfaas|esg|
+//                    infless|repartition|all] [--nodes N] [--gpus N]
+//                    [--duration SECONDS] [--load FRACTION] [--seed N]
+//                    [--partition SPEC] [--csv FILE]
+//   fluidfaas trace [--functions N] [--rps R] [--duration SECONDS]
+//                    [--seed N] [--out FILE]
+//   fluidfaas plan  [--app 0..3 | --llm 7b|13b|34b]
+//                    [--variant small|medium|large] [--stages N]
+//   fluidfaas partitions
+//
+// `run` replays a synthesized Azure-like trace through the chosen
+// platform(s) and prints the comparison table; `--csv` additionally dumps
+// per-request records. `plan` prints the CV-ranked pipeline candidates for
+// one application. `partitions` enumerates every maximal A100 MIG
+// configuration under the placement rules.
+#include <fstream>
+#include <iostream>
+
+#include "core/partitioner.h"
+#include "harness/experiment.h"
+#include "harness/json_report.h"
+#include "metrics/report.h"
+#include "model/llm.h"
+#include "model/zoo.h"
+#include "tools/cli_args.h"
+#include "trace/azure_loader.h"
+#include "trace/trace.h"
+
+using namespace fluidfaas;
+using tools::CliArgs;
+
+namespace {
+
+int Usage() {
+  std::cout <<
+      "usage: fluidfaas <run|trace|plan|partitions> [--flag value ...]\n"
+      "  run        replay a workload through one or all platforms\n"
+      "  trace      synthesize an Azure-like invocation trace (CSV)\n"
+      "  plan       show CV-ranked pipeline candidates for an application\n"
+      "  partitions enumerate maximal A100 MIG configurations\n"
+      "See the header of tools/fluidfaas_cli.cpp for the full flag list.\n";
+  return 2;
+}
+
+trace::WorkloadTier ParseTier(const std::string& s) {
+  if (s == "light") return trace::WorkloadTier::kLight;
+  if (s == "medium") return trace::WorkloadTier::kMedium;
+  if (s == "heavy") return trace::WorkloadTier::kHeavy;
+  throw FfsError("unknown tier: " + s);
+}
+
+int CmdRun(const CliArgs& args) {
+  harness::ExperimentConfig cfg;
+  cfg.tier = ParseTier(args.GetString("tier", "medium"));
+  cfg.num_nodes = static_cast<int>(args.GetInt("nodes", 2));
+  cfg.gpus_per_node = static_cast<int>(args.GetInt("gpus", 8));
+  cfg.duration = Seconds(args.GetDouble("duration", 150.0));
+  cfg.load_factor = args.GetDouble("load", 0.0);
+  cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1234));
+  if (args.Has("partition")) {
+    const auto part = gpu::MigPartition::Parse(args.GetString("partition", ""));
+    cfg.partitions.assign(
+        static_cast<std::size_t>(cfg.num_nodes),
+        std::vector<gpu::MigPartition>(
+            static_cast<std::size_t>(cfg.gpus_per_node), part));
+  }
+
+  if (args.Has("trace")) {
+    std::ifstream in(args.GetString("trace", ""));
+    FFS_CHECK_MSG(in.good(), "cannot open trace file");
+    cfg.custom_trace = trace::LoadCsv(in);
+    std::cout << "replaying " << cfg.custom_trace.size()
+              << " invocations from " << args.GetString("trace", "") << "\n";
+  }
+
+  const std::string system = args.GetString("system", "all");
+  std::vector<harness::ExperimentResult> results;
+  if (system == "all") {
+    results = harness::RunComparison(cfg);
+  } else {
+    if (system == "fluidfaas") cfg.system = harness::SystemKind::kFluidFaas;
+    else if (system == "esg") cfg.system = harness::SystemKind::kEsg;
+    else if (system == "infless") cfg.system = harness::SystemKind::kInfless;
+    else if (system == "repartition")
+      cfg.system = harness::SystemKind::kRepartition;
+    else if (system == "distributed")
+      cfg.system = harness::SystemKind::kFluidFaasDistributed;
+    else throw FfsError("unknown system: " + system);
+    results.push_back(harness::RunExperiment(cfg));
+  }
+
+  metrics::Table table({"system", "completed", "throughput", "SLO hit",
+                        "P50", "P95", "MIG time", "GPU time"});
+  for (const auto& r : results) {
+    auto lats = r.recorder->LatenciesSeconds();
+    const double p50 = lats.empty() ? 0.0 : Percentile(lats, 0.5);
+    const double p95 = lats.empty() ? 0.0 : Percentile(lats, 0.95);
+    table.AddRow({r.system,
+                  std::to_string(r.recorder->completed_requests()) + "/" +
+                      std::to_string(r.recorder->total_requests()),
+                  metrics::Fmt(r.throughput_rps, 1) + " rps",
+                  metrics::FmtPercent(r.slo_hit_rate),
+                  metrics::Fmt(p50, 2) + "s", metrics::Fmt(p95, 2) + "s",
+                  metrics::Fmt(ToSeconds(r.mig_time), 0) + "s",
+                  metrics::Fmt(ToSeconds(r.gpu_time), 0) + "s"});
+  }
+  std::cout << trace::Name(cfg.tier) << " workload, " << cfg.num_nodes
+            << " node(s) x " << cfg.gpus_per_node << " GPU(s), "
+            << ToSeconds(cfg.duration) << "s simulated\n";
+  table.Print();
+
+  if (args.Has("json")) {
+    const std::string path = args.GetString("json", "");
+    std::ofstream out(path);
+    FFS_CHECK_MSG(out.good(), "cannot write " + path);
+    out << harness::ResultsToJson(results) << "\n";
+    std::cout << "JSON summary written to " << path << "\n";
+  }
+
+  if (args.Has("csv")) {
+    const std::string path = args.GetString("csv", "");
+    std::ofstream out(path);
+    FFS_CHECK_MSG(out.good(), "cannot write " + path);
+    out << "system,request,function,arrival_us,deadline_us,completion_us,"
+           "queue_us,load_us,exec_us,transfer_us,slo_hit\n";
+    for (const auto& r : results) {
+      for (const auto& rec : r.recorder->records()) {
+        out << r.system << "," << rec.id.value << "," << rec.fn.value << ","
+            << rec.arrival << "," << rec.deadline << "," << rec.completion
+            << "," << rec.queue_time << "," << rec.load_time << ","
+            << rec.exec_time << "," << rec.transfer_time << ","
+            << (rec.SloHit() ? 1 : 0) << "\n";
+      }
+    }
+    std::cout << "per-request records written to " << path << "\n";
+  }
+  return 0;
+}
+
+int CmdTrace(const CliArgs& args) {
+  if (args.Has("azure")) {
+    // Convert a slice of the real Azure Functions dataset into our trace
+    // CSV: fluidfaas trace --azure dNN.csv --functions 4 --minutes 5
+    //        --scale 0.05 --out trace.csv
+    std::ifstream in(args.GetString("azure", ""));
+    FFS_CHECK_MSG(in.good(), "cannot open Azure dataset file");
+    auto rows = trace::LoadAzureDataset(in);
+    trace::AzureExpandOptions opt;
+    opt.num_functions = static_cast<int>(args.GetInt("functions", 4));
+    opt.minutes = static_cast<int>(args.GetInt("minutes", 5));
+    opt.count_scale = args.GetDouble("scale", 1.0);
+    opt.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1234));
+    const trace::Trace t = trace::ExpandAzureDataset(rows, opt);
+    const std::string path = args.GetString("out", "");
+    if (path.empty()) {
+      trace::SaveCsv(t, std::cout);
+    } else {
+      std::ofstream out(path);
+      FFS_CHECK_MSG(out.good(), "cannot write " + path);
+      trace::SaveCsv(t, out);
+      std::cout << rows.size() << " dataset functions -> top "
+                << opt.num_functions << ", " << t.size()
+                << " invocations written to " << path << "\n";
+    }
+    return 0;
+  }
+  trace::AzureLikeParams p;
+  p.total_rps = args.GetDouble("rps", 20.0);
+  p.duration = Seconds(args.GetDouble("duration", 300.0));
+  p.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1234));
+  const int functions = static_cast<int>(args.GetInt("functions", 4));
+  const trace::Trace t = trace::AzureLikeTrace(functions, p);
+
+  const std::string path = args.GetString("out", "");
+  if (path.empty()) {
+    trace::SaveCsv(t, std::cout);
+  } else {
+    std::ofstream out(path);
+    FFS_CHECK_MSG(out.good(), "cannot write " + path);
+    trace::SaveCsv(t, out);
+    std::cout << t.size() << " invocations ("
+              << metrics::Fmt(trace::MeanRps(t, p.duration), 1)
+              << " rps mean) written to " << path << "\n";
+  }
+  return 0;
+}
+
+int CmdPlan(const CliArgs& args) {
+  model::AppDag dag;
+  if (args.Has("llm")) {
+    const std::string size = args.GetString("llm", "7b");
+    if (size == "7b") dag = model::BuildLlmApp(model::LlmSize::k7B);
+    else if (size == "13b") dag = model::BuildLlmApp(model::LlmSize::k13B);
+    else if (size == "34b") dag = model::BuildLlmApp(model::LlmSize::k34B);
+    else throw FfsError("unknown llm size: " + size);
+  } else {
+    const int app = static_cast<int>(args.GetInt("app", 0));
+    const std::string v = args.GetString("variant", "medium");
+    model::Variant variant = model::Variant::kMedium;
+    if (v == "small") variant = model::Variant::kSmall;
+    else if (v == "large") variant = model::Variant::kLarge;
+    else if (v != "medium") throw FfsError("unknown variant: " + v);
+    dag = model::BuildApp(app, variant);
+  }
+  const int stages = static_cast<int>(args.GetInt("stages", 4));
+
+  std::cout << dag.name() << ": " << dag.size() << " components, "
+            << metrics::Fmt(static_cast<double>(dag.TotalMemory()) / kGiB, 1)
+            << " GB\n";
+  const auto mono = core::MinMonolithicProfile(dag);
+  const auto piped = core::MinPipelinedProfile(dag, stages);
+  std::cout << "monolithic minimum: " << (mono ? gpu::Name(*mono) : "NONE")
+            << ", pipelined minimum: " << (piped ? gpu::Name(*piped) : "NONE")
+            << "\n\nranked candidates (Eq. 1):\n";
+  for (const auto& c : core::EnumerateRankedPipelines(dag, stages)) {
+    std::cout << "  " << core::ToString(c) << "\n";
+  }
+  return 0;
+}
+
+int CmdPartitions() {
+  const auto parts = gpu::EnumerateMaximalPartitions();
+  std::cout << parts.size()
+            << " maximal A100 MIG configurations (placement-distinct):\n";
+  for (const auto& p : parts) {
+    std::cout << "  " << p.ToString() << "  (" << p.total_gpcs() << " GPCs, "
+              << p.total_memory() / kGiB << " GB)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") {
+      return CmdRun(CliArgs(argc, argv, 2,
+                            {"tier", "system", "nodes", "gpus", "duration",
+                             "load", "seed", "partition", "csv", "trace", "json"}));
+    }
+    if (cmd == "trace") {
+      return CmdTrace(CliArgs(argc, argv, 2,
+                              {"functions", "rps", "duration", "seed",
+                               "out", "azure", "minutes", "scale"}));
+    }
+    if (cmd == "plan") {
+      return CmdPlan(
+          CliArgs(argc, argv, 2, {"app", "variant", "llm", "stages"}));
+    }
+    if (cmd == "partitions") {
+      return CmdPartitions();
+    }
+    return Usage();
+  } catch (const FfsError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
