@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decentralized.dir/ablation_decentralized.cpp.o"
+  "CMakeFiles/ablation_decentralized.dir/ablation_decentralized.cpp.o.d"
+  "ablation_decentralized"
+  "ablation_decentralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decentralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partitioner.dir/ablation_partitioner.cpp.o"
+  "CMakeFiles/ablation_partitioner.dir/ablation_partitioner.cpp.o.d"
+  "ablation_partitioner"
+  "ablation_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

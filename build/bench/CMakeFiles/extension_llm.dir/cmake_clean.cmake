@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_llm.dir/extension_llm.cpp.o"
+  "CMakeFiles/extension_llm.dir/extension_llm.cpp.o.d"
+  "extension_llm"
+  "extension_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_fragmentation.dir/fig04_fragmentation.cpp.o"
+  "CMakeFiles/fig04_fragmentation.dir/fig04_fragmentation.cpp.o.d"
+  "fig04_fragmentation"
+  "fig04_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_keepalive.dir/fig05_keepalive.cpp.o"
+  "CMakeFiles/fig05_keepalive.dir/fig05_keepalive.cpp.o.d"
+  "fig05_keepalive"
+  "fig05_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

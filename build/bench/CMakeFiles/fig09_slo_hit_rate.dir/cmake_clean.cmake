@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_slo_hit_rate.dir/fig09_slo_hit_rate.cpp.o"
+  "CMakeFiles/fig09_slo_hit_rate.dir/fig09_slo_hit_rate.cpp.o.d"
+  "fig09_slo_hit_rate"
+  "fig09_slo_hit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_slo_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

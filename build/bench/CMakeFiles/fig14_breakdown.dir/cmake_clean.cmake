@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_breakdown.dir/fig14_breakdown.cpp.o"
+  "CMakeFiles/fig14_breakdown.dir/fig14_breakdown.cpp.o.d"
+  "fig14_breakdown"
+  "fig14_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

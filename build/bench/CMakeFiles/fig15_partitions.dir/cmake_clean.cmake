@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_partitions.dir/fig15_partitions.cpp.o"
+  "CMakeFiles/fig15_partitions.dir/fig15_partitions.cpp.o.d"
+  "fig15_partitions"
+  "fig15_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

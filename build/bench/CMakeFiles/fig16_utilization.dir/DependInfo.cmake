@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_utilization.cpp" "bench/CMakeFiles/fig16_utilization.dir/fig16_utilization.cpp.o" "gcc" "bench/CMakeFiles/fig16_utilization.dir/fig16_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ffs_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ffs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ffs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ffs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ffs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ffs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ffs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ffs_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ffs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ffs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ffs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_utilization.dir/fig16_utilization.cpp.o"
+  "CMakeFiles/fig16_utilization.dir/fig16_utilization.cpp.o.d"
+  "fig16_utilization"
+  "fig16_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

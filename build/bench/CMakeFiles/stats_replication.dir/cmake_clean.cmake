@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_replication.dir/stats_replication.cpp.o"
+  "CMakeFiles/stats_replication.dir/stats_replication.cpp.o.d"
+  "stats_replication"
+  "stats_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_min_mig.dir/table05_min_mig.cpp.o"
+  "CMakeFiles/table05_min_mig.dir/table05_min_mig.cpp.o.d"
+  "table05_min_mig"
+  "table05_min_mig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_min_mig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table05_min_mig.
+# This may be replaced when dependencies are built.

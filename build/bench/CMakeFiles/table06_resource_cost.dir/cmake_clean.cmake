@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_resource_cost.dir/table06_resource_cost.cpp.o"
+  "CMakeFiles/table06_resource_cost.dir/table06_resource_cost.cpp.o.d"
+  "table06_resource_cost"
+  "table06_resource_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_resource_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table06_resource_cost.
+# This may be replaced when dependencies are built.

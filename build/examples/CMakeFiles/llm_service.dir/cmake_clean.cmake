@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_service.dir/llm_service.cpp.o"
+  "CMakeFiles/llm_service.dir/llm_service.cpp.o.d"
+  "llm_service"
+  "llm_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("gpu")
+subdirs("model")
+subdirs("metrics")
+subdirs("core")
+subdirs("platform")
+subdirs("trace")
+subdirs("baselines")
+subdirs("harness")
+subdirs("runtime")

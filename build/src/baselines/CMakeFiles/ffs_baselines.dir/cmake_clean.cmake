@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_baselines.dir/esg_platform.cpp.o"
+  "CMakeFiles/ffs_baselines.dir/esg_platform.cpp.o.d"
+  "CMakeFiles/ffs_baselines.dir/esg_search.cpp.o"
+  "CMakeFiles/ffs_baselines.dir/esg_search.cpp.o.d"
+  "CMakeFiles/ffs_baselines.dir/repartition_platform.cpp.o"
+  "CMakeFiles/ffs_baselines.dir/repartition_platform.cpp.o.d"
+  "libffs_baselines.a"
+  "libffs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

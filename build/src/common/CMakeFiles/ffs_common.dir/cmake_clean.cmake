@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_common.dir/logging.cpp.o"
+  "CMakeFiles/ffs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ffs_common.dir/rng.cpp.o"
+  "CMakeFiles/ffs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ffs_common.dir/stats.cpp.o"
+  "CMakeFiles/ffs_common.dir/stats.cpp.o.d"
+  "libffs_common.a"
+  "libffs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

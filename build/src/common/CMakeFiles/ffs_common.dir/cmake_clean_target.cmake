@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libffs_common.a"
+)

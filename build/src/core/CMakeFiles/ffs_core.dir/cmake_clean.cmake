@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_core.dir/ffs_distributed.cpp.o"
+  "CMakeFiles/ffs_core.dir/ffs_distributed.cpp.o.d"
+  "CMakeFiles/ffs_core.dir/ffs_function.cpp.o"
+  "CMakeFiles/ffs_core.dir/ffs_function.cpp.o.d"
+  "CMakeFiles/ffs_core.dir/ffs_platform.cpp.o"
+  "CMakeFiles/ffs_core.dir/ffs_platform.cpp.o.d"
+  "CMakeFiles/ffs_core.dir/partitioner.cpp.o"
+  "CMakeFiles/ffs_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/ffs_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ffs_core.dir/pipeline.cpp.o.d"
+  "libffs_core.a"
+  "libffs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

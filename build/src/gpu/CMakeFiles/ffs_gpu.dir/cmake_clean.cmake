@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_gpu.dir/cluster.cpp.o"
+  "CMakeFiles/ffs_gpu.dir/cluster.cpp.o.d"
+  "CMakeFiles/ffs_gpu.dir/mig_partition.cpp.o"
+  "CMakeFiles/ffs_gpu.dir/mig_partition.cpp.o.d"
+  "CMakeFiles/ffs_gpu.dir/mig_profile.cpp.o"
+  "CMakeFiles/ffs_gpu.dir/mig_profile.cpp.o.d"
+  "libffs_gpu.a"
+  "libffs_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

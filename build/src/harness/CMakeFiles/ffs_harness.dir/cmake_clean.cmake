@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_harness.dir/experiment.cpp.o"
+  "CMakeFiles/ffs_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/ffs_harness.dir/json_report.cpp.o"
+  "CMakeFiles/ffs_harness.dir/json_report.cpp.o.d"
+  "libffs_harness.a"
+  "libffs_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/recorder.cpp" "src/metrics/CMakeFiles/ffs_metrics.dir/recorder.cpp.o" "gcc" "src/metrics/CMakeFiles/ffs_metrics.dir/recorder.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/ffs_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/ffs_metrics.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ffs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ffs_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_metrics.dir/recorder.cpp.o"
+  "CMakeFiles/ffs_metrics.dir/recorder.cpp.o.d"
+  "CMakeFiles/ffs_metrics.dir/report.cpp.o"
+  "CMakeFiles/ffs_metrics.dir/report.cpp.o.d"
+  "libffs_metrics.a"
+  "libffs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

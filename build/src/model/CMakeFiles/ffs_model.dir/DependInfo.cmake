@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/app.cpp" "src/model/CMakeFiles/ffs_model.dir/app.cpp.o" "gcc" "src/model/CMakeFiles/ffs_model.dir/app.cpp.o.d"
+  "/root/repo/src/model/component.cpp" "src/model/CMakeFiles/ffs_model.dir/component.cpp.o" "gcc" "src/model/CMakeFiles/ffs_model.dir/component.cpp.o.d"
+  "/root/repo/src/model/llm.cpp" "src/model/CMakeFiles/ffs_model.dir/llm.cpp.o" "gcc" "src/model/CMakeFiles/ffs_model.dir/llm.cpp.o.d"
+  "/root/repo/src/model/synthetic.cpp" "src/model/CMakeFiles/ffs_model.dir/synthetic.cpp.o" "gcc" "src/model/CMakeFiles/ffs_model.dir/synthetic.cpp.o.d"
+  "/root/repo/src/model/zoo.cpp" "src/model/CMakeFiles/ffs_model.dir/zoo.cpp.o" "gcc" "src/model/CMakeFiles/ffs_model.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ffs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

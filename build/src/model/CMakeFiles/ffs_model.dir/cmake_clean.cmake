@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_model.dir/app.cpp.o"
+  "CMakeFiles/ffs_model.dir/app.cpp.o.d"
+  "CMakeFiles/ffs_model.dir/component.cpp.o"
+  "CMakeFiles/ffs_model.dir/component.cpp.o.d"
+  "CMakeFiles/ffs_model.dir/llm.cpp.o"
+  "CMakeFiles/ffs_model.dir/llm.cpp.o.d"
+  "CMakeFiles/ffs_model.dir/synthetic.cpp.o"
+  "CMakeFiles/ffs_model.dir/synthetic.cpp.o.d"
+  "CMakeFiles/ffs_model.dir/zoo.cpp.o"
+  "CMakeFiles/ffs_model.dir/zoo.cpp.o.d"
+  "libffs_model.a"
+  "libffs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

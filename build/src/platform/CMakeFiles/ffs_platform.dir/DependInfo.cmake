@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/function.cpp" "src/platform/CMakeFiles/ffs_platform.dir/function.cpp.o" "gcc" "src/platform/CMakeFiles/ffs_platform.dir/function.cpp.o.d"
+  "/root/repo/src/platform/instance.cpp" "src/platform/CMakeFiles/ffs_platform.dir/instance.cpp.o" "gcc" "src/platform/CMakeFiles/ffs_platform.dir/instance.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "src/platform/CMakeFiles/ffs_platform.dir/platform.cpp.o" "gcc" "src/platform/CMakeFiles/ffs_platform.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ffs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ffs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ffs_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ffs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ffs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ffs_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

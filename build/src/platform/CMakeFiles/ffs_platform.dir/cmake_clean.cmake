@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_platform.dir/function.cpp.o"
+  "CMakeFiles/ffs_platform.dir/function.cpp.o.d"
+  "CMakeFiles/ffs_platform.dir/instance.cpp.o"
+  "CMakeFiles/ffs_platform.dir/instance.cpp.o.d"
+  "CMakeFiles/ffs_platform.dir/platform.cpp.o"
+  "CMakeFiles/ffs_platform.dir/platform.cpp.o.d"
+  "libffs_platform.a"
+  "libffs_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

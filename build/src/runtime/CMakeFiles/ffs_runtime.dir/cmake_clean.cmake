@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_runtime.dir/pipeline_runtime.cpp.o"
+  "CMakeFiles/ffs_runtime.dir/pipeline_runtime.cpp.o.d"
+  "CMakeFiles/ffs_runtime.dir/plan_executor.cpp.o"
+  "CMakeFiles/ffs_runtime.dir/plan_executor.cpp.o.d"
+  "CMakeFiles/ffs_runtime.dir/spsc_ring.cpp.o"
+  "CMakeFiles/ffs_runtime.dir/spsc_ring.cpp.o.d"
+  "libffs_runtime.a"
+  "libffs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ffs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ffs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ffs_sim.dir/simulator.cpp.o.d"
+  "libffs_sim.a"
+  "libffs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

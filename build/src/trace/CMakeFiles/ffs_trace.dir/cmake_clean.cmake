@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_trace.dir/azure_loader.cpp.o"
+  "CMakeFiles/ffs_trace.dir/azure_loader.cpp.o.d"
+  "CMakeFiles/ffs_trace.dir/trace.cpp.o"
+  "CMakeFiles/ffs_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/ffs_trace.dir/workload.cpp.o"
+  "CMakeFiles/ffs_trace.dir/workload.cpp.o.d"
+  "libffs_trace.a"
+  "libffs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_repartition_test.dir/baselines_repartition_test.cc.o"
+  "CMakeFiles/baselines_repartition_test.dir/baselines_repartition_test.cc.o.d"
+  "baselines_repartition_test"
+  "baselines_repartition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_repartition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

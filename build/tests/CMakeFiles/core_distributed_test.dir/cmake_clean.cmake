@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_distributed_test.dir/core_distributed_test.cc.o"
+  "CMakeFiles/core_distributed_test.dir/core_distributed_test.cc.o.d"
+  "core_distributed_test"
+  "core_distributed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

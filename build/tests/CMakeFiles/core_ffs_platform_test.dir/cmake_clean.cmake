@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ffs_platform_test.dir/core_ffs_platform_test.cc.o"
+  "CMakeFiles/core_ffs_platform_test.dir/core_ffs_platform_test.cc.o.d"
+  "core_ffs_platform_test"
+  "core_ffs_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ffs_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_function_builder_test.dir/core_function_builder_test.cc.o"
+  "CMakeFiles/core_function_builder_test.dir/core_function_builder_test.cc.o.d"
+  "core_function_builder_test"
+  "core_function_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_function_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partitioner_test.dir/core_partitioner_test.cc.o"
+  "CMakeFiles/core_partitioner_test.dir/core_partitioner_test.cc.o.d"
+  "core_partitioner_test"
+  "core_partitioner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_routing_test.dir/core_routing_test.cc.o"
+  "CMakeFiles/core_routing_test.dir/core_routing_test.cc.o.d"
+  "core_routing_test"
+  "core_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

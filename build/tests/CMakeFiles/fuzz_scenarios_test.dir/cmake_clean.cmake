@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_scenarios_test.dir/fuzz_scenarios_test.cc.o"
+  "CMakeFiles/fuzz_scenarios_test.dir/fuzz_scenarios_test.cc.o.d"
+  "fuzz_scenarios_test"
+  "fuzz_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

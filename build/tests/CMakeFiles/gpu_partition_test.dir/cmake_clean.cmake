@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_partition_test.dir/gpu_partition_test.cc.o"
+  "CMakeFiles/gpu_partition_test.dir/gpu_partition_test.cc.o.d"
+  "gpu_partition_test"
+  "gpu_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_recorder_test.dir/metrics_recorder_test.cc.o"
+  "CMakeFiles/metrics_recorder_test.dir/metrics_recorder_test.cc.o.d"
+  "metrics_recorder_test"
+  "metrics_recorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

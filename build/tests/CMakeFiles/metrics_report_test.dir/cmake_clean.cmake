@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_report_test.dir/metrics_report_test.cc.o"
+  "CMakeFiles/metrics_report_test.dir/metrics_report_test.cc.o.d"
+  "metrics_report_test"
+  "metrics_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

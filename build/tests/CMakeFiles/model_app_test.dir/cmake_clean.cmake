@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_app_test.dir/model_app_test.cc.o"
+  "CMakeFiles/model_app_test.dir/model_app_test.cc.o.d"
+  "model_app_test"
+  "model_app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

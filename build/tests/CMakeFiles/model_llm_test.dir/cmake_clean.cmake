@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_llm_test.dir/model_llm_test.cc.o"
+  "CMakeFiles/model_llm_test.dir/model_llm_test.cc.o.d"
+  "model_llm_test"
+  "model_llm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

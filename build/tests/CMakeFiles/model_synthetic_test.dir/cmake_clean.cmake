@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_synthetic_test.dir/model_synthetic_test.cc.o"
+  "CMakeFiles/model_synthetic_test.dir/model_synthetic_test.cc.o.d"
+  "model_synthetic_test"
+  "model_synthetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

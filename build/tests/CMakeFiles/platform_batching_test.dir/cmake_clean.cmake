@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_batching_test.dir/platform_batching_test.cc.o"
+  "CMakeFiles/platform_batching_test.dir/platform_batching_test.cc.o.d"
+  "platform_batching_test"
+  "platform_batching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_batching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_function_test.dir/platform_function_test.cc.o"
+  "CMakeFiles/platform_function_test.dir/platform_function_test.cc.o.d"
+  "platform_function_test"
+  "platform_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

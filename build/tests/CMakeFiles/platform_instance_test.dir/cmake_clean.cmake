@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_instance_test.dir/platform_instance_test.cc.o"
+  "CMakeFiles/platform_instance_test.dir/platform_instance_test.cc.o.d"
+  "platform_instance_test"
+  "platform_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_platform_test.dir/platform_platform_test.cc.o"
+  "CMakeFiles/platform_platform_test.dir/platform_platform_test.cc.o.d"
+  "platform_platform_test"
+  "platform_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_invariants_test.dir/property_invariants_test.cc.o"
+  "CMakeFiles/property_invariants_test.dir/property_invariants_test.cc.o.d"
+  "property_invariants_test"
+  "property_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

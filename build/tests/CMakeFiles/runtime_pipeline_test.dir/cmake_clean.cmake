@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_pipeline_test.dir/runtime_pipeline_test.cc.o"
+  "CMakeFiles/runtime_pipeline_test.dir/runtime_pipeline_test.cc.o.d"
+  "runtime_pipeline_test"
+  "runtime_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

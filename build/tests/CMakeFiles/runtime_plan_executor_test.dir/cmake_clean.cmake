@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_plan_executor_test.dir/runtime_plan_executor_test.cc.o"
+  "CMakeFiles/runtime_plan_executor_test.dir/runtime_plan_executor_test.cc.o.d"
+  "runtime_plan_executor_test"
+  "runtime_plan_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_plan_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_spsc_test.dir/runtime_spsc_test.cc.o"
+  "CMakeFiles/runtime_spsc_test.dir/runtime_spsc_test.cc.o.d"
+  "runtime_spsc_test"
+  "runtime_spsc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_spsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_azure_loader_test.dir/trace_azure_loader_test.cc.o"
+  "CMakeFiles/trace_azure_loader_test.dir/trace_azure_loader_test.cc.o.d"
+  "trace_azure_loader_test"
+  "trace_azure_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_azure_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

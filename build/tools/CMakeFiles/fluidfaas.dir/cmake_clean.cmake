@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluidfaas.dir/fluidfaas_cli.cpp.o"
+  "CMakeFiles/fluidfaas.dir/fluidfaas_cli.cpp.o.d"
+  "fluidfaas"
+  "fluidfaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluidfaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fluidfaas.
+# This may be replaced when dependencies are built.
