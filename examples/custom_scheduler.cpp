@@ -1,123 +1,127 @@
-// Extending the platform: write your own scheduler by subclassing
-// platform::Platform — here, a deliberately naive random-placement policy —
-// and race it against FluidFaaS on the same trace. This is the template for
+// Extending the platform: write your own scheduler as a pair of policies —
+// here, a deliberately naive random-placement policy — register it, and
+// race it against FluidFaaS on the same trace. This is the template for
 // experimenting with new scheduling ideas on the simulator.
+//
+// A scheduler is a platform::PolicyBundle: a RoutingPolicy (where does this
+// request go?), a ScalingPolicy (what changes at each autoscale tick?), and
+// optionally a KeepAlivePolicy. platform::PlatformCore supplies everything
+// else — instances, loading, warm tracking, the pending set — and publishes
+// every observable step on the simulator's EventBus, where the
+// metrics::Recorder picks it up.
 //
 //   $ ./custom_scheduler
 #include <iostream>
+#include <memory>
 
 #include "common/rng.h"
 #include "core/ffs_platform.h"
 #include "core/pipeline.h"
 #include "metrics/report.h"
 #include "model/zoo.h"
+#include "platform/registry.h"
 #include "trace/workload.h"
 
 using namespace fluidfaas;
 
 namespace {
 
-/// A strawman: place every new instance on a *random* free slice that fits
-/// (monolithic only), route requests to a random admitting instance, never
-/// scale down. Everything else — loading, keep-alive, accounting — comes
-/// from the base class.
-class RandomScheduler : public platform::Platform {
+/// A strawman router: place every new instance on a *random* free slice
+/// that fits (monolithic only), route requests to a random admitting
+/// instance.
+class RandomRouting final : public platform::RoutingPolicy {
  public:
-  RandomScheduler(sim::Simulator& sim, gpu::Cluster& cluster,
-                  metrics::Recorder& recorder,
-                  std::vector<platform::FunctionSpec> functions,
-                  platform::PlatformConfig config)
-      : Platform(sim, cluster, recorder, std::move(functions), config),
-        rng_(7) {}
+  RandomRouting() : rng_(7) {}
 
-  std::string name() const override { return "RandomScheduler"; }
-
- protected:
-  bool Route(RequestId rid, FunctionId fn) override {
-    auto insts = InstancesOf(fn);
+  bool Route(platform::PlatformCore& core, RequestId rid,
+             FunctionId fn) override {
+    auto insts = core.InstancesOf(fn);
     std::erase_if(insts, [](platform::Instance* i) { return !i->CanAdmit(); });
     if (insts.empty()) {
-      auto free = cluster().FreeSlices();
+      auto free = core.cluster().FreeSlices();
       std::erase_if(free, [&](SliceId sid) {
-        return cluster().slice(sid).memory() < function(fn).total_memory;
+        return core.cluster().slice(sid).memory() <
+               core.function(fn).total_memory;
       });
       if (free.empty()) return false;
       const SliceId pick = free[static_cast<std::size_t>(rng_.UniformInt(
           0, static_cast<std::int64_t>(free.size()) - 1))];
-      auto plan = core::MonolithicPlanOnSlice(function(fn).dag, cluster(),
-                                              pick);
-      insts.push_back(LaunchInstance(function(fn), std::move(*plan),
-                                     IsWarm(fn)));
+      auto plan = core::MonolithicPlanOnSlice(core.function(fn).dag,
+                                              core.cluster(), pick);
+      insts.push_back(core.LaunchInstance(core.function(fn), std::move(*plan),
+                                          core.IsWarm(fn)));
     }
     auto* inst = insts[static_cast<std::size_t>(
         rng_.UniformInt(0, static_cast<std::int64_t>(insts.size()) - 1))];
-    const auto& rec = recorder().record(rid);
-    if (!inst->AdmitWithinBound(simulator().Now(), rec.deadline,
-                                function(fn).slo)) {
+    if (!inst->AdmitWithinBound(core.simulator().Now(), core.DeadlineOf(rid),
+                                core.function(fn).slo)) {
       return false;
     }
-    inst->Enqueue(rid, JitterOf(rid));
+    inst->Enqueue(rid, core.JitterOf(rid));
     return true;
-  }
-
-  void AutoscaleTick() override {
-    // Scale up randomly when the pending set grows; never scale down.
-    if (PendingCount() == 0) return;
-    for (const auto& spec : functions()) {
-      (void)spec;
-    }
   }
 
  private:
   Rng rng_;
 };
 
+/// Never scales: whatever RandomRouting launched is all there is.
+class NoScaling final : public platform::ScalingPolicy {
+ public:
+  void Tick(platform::PlatformCore&) override {}
+};
+
 }  // namespace
 
 int main() {
   std::cout << "Racing a custom scheduler against FluidFaaS on one trace\n\n";
+
+  // Register the custom bundle next to the built-ins, exactly the way the
+  // harness resolves schedulers.
+  core::RegisterFluidFaasSchedulers();
+  platform::RegisterScheduler("RandomScheduler", [] {
+    platform::PolicyBundle b;
+    b.routing = std::make_unique<RandomRouting>();
+    b.scaling = std::make_unique<NoScaling>();
+    return b;
+  });
+
   metrics::Table table(
       {"scheduler", "completed", "SLO hit", "mean queue (ms)"});
 
-  for (int which = 0; which < 2; ++which) {
+  for (const char* name : {"RandomScheduler", "FluidFaaS"}) {
     sim::Simulator sim;
     auto cluster = gpu::Cluster::Uniform(1, 4, gpu::DefaultPartition());
     metrics::Recorder recorder(cluster);
+    recorder.SubscribeTo(sim.bus());
     trace::WorkloadParams wp;
     wp.duration = Seconds(90);
     wp.load_factor = 0.3;
     trace::Workload workload =
         trace::MakeWorkload(trace::WorkloadTier::kLight, cluster, wp);
 
-    std::unique_ptr<platform::Platform> plat;
-    if (which == 0) {
-      plat = std::make_unique<RandomScheduler>(
-          sim, cluster, recorder, workload.functions,
-          platform::PlatformConfig{});
-    } else {
-      plat = std::make_unique<core::FluidFaasPlatform>(
-          sim, cluster, recorder, workload.functions,
-          platform::PlatformConfig{});
-    }
-    plat->Start();
+    platform::PlatformCore plat(sim, cluster, workload.functions,
+                                platform::PlatformConfig{},
+                                platform::MakeSchedulerBundle(name));
+    plat.Start();
     for (const auto& inv : workload.trace) {
-      sim.At(inv.time, [&plat, fn = inv.fn] { plat->Submit(fn); });
+      sim.At(inv.time, [&plat, fn = inv.fn] { plat.Submit(fn); });
     }
     sim.RunUntil(Seconds(90) + Minutes(5));
-    plat->Stop();
+    plat.Stop();
     recorder.Close(sim.Now());
 
     const auto bd = recorder.MeanBreakdown();
-    table.AddRow({plat->name(),
+    table.AddRow({plat.name(),
                   std::to_string(recorder.completed_requests()) + "/" +
                       std::to_string(recorder.total_requests()),
                   metrics::FmtPercent(recorder.SloHitRate()),
                   metrics::Fmt(bd.queue / 1000.0, 1)});
   }
   table.Print();
-  std::cout << "\nplatform::Platform supplies instances, loading, warm\n"
-               "tracking and accounting; a scheduler only implements Route()"
-               "\nand AutoscaleTick(). See src/core/ffs_platform.cpp for the"
-               "\nfull FluidFaaS policy.\n";
+  std::cout << "\nplatform::PlatformCore supplies instances, loading, warm\n"
+               "tracking and event publication; a scheduler is just a\n"
+               "RoutingPolicy + ScalingPolicy bundle in the registry. See\n"
+               "src/core/ffs_platform.cpp for the full FluidFaaS policy.\n";
   return 0;
 }

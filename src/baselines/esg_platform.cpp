@@ -1,10 +1,13 @@
 #include "baselines/esg_platform.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "baselines/esg_search.h"
+#include "baselines/repartition_platform.h"
 #include "common/logging.h"
 #include "core/pipeline.h"
+#include "platform/registry.h"
 
 namespace fluidfaas::baselines {
 
@@ -40,29 +43,24 @@ bool AdmitBounded(Instance* inst, RequestId rid, double jitter, SimTime now,
 
 }  // namespace
 
-EsgPlatform::EsgPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
-                         metrics::Recorder& recorder,
-                         std::vector<platform::FunctionSpec> functions,
-                         platform::PlatformConfig config)
-    : Platform(sim, cluster, recorder, std::move(functions), config) {}
-
-std::vector<int> EsgPlatform::FreeCounts() const {
+std::vector<int> EsgState::FreeCounts(
+    const platform::PlatformCore& core) const {
   std::vector<int> counts(gpu::kAllProfiles.size(), 0);
-  for (SliceId sid : cluster().AllSlices()) {
-    const gpu::MigSlice& s = cluster().slice(sid);
+  for (SliceId sid : core.cluster().AllSlices()) {
+    const gpu::MigSlice& s = core.cluster().slice(sid);
     if (s.free()) counts[static_cast<std::size_t>(s.profile())] += 1;
   }
   return counts;
 }
 
-int EsgPlatform::ScaleUp(const platform::FunctionSpec& spec,
-                         double demand_rps) {
-  ++searches_;
-  auto result = EsgSearch(spec.dag, FreeCounts(), spec.slo, demand_rps);
+int EsgState::ScaleUp(platform::PlatformCore& core,
+                      const platform::FunctionSpec& spec, double demand_rps) {
+  ++searches;
+  auto result = EsgSearch(spec.dag, FreeCounts(core), spec.slo, demand_rps);
   if (!result) {
     // Even the full free inventory cannot cover the demand; deploy the
     // single cheapest feasible instance as best effort.
-    auto options = MakeSliceOptions(spec.dag, FreeCounts(), spec.slo);
+    auto options = MakeSliceOptions(spec.dag, FreeCounts(core), spec.slo);
     if (options.empty()) return 0;
     auto best = std::min_element(
         options.begin(), options.end(),
@@ -75,66 +73,64 @@ int EsgPlatform::ScaleUp(const platform::FunctionSpec& spec,
   }
   int launched = 0;
   for (gpu::MigProfile p : result->chosen) {
-    const auto free = cluster().FreeSlices(p);
+    const auto free = core.cluster().FreeSlices(p);
     if (free.empty()) continue;  // raced with another function this tick
-    auto plan = core::MonolithicPlanOnSlice(spec.dag, cluster(),
+    auto plan = core::MonolithicPlanOnSlice(spec.dag, core.cluster(),
                                             free.front());
     if (!plan) continue;
-    LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+    core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
     ++launched;
   }
   return launched;
 }
 
-bool EsgPlatform::Route(RequestId rid, FunctionId fn) {
-  const platform::FunctionSpec& spec = function(fn);
-  const SimTime now = simulator().Now();
-  const SimTime deadline = recorder().record(rid).deadline;
-  std::vector<Instance*> insts = InstancesOf(fn);
+bool EsgRouting::Route(platform::PlatformCore& core, RequestId rid,
+                       FunctionId fn) {
+  const platform::FunctionSpec& spec = core.function(fn);
+  const SimTime now = core.simulator().Now();
+  const SimTime deadline = core.DeadlineOf(rid);
+  std::vector<Instance*> insts = core.InstancesOf(fn);
 
   if (insts.empty()) {
     // Cold path: synchronous scale-up for the first request.
-    if (ScaleUp(spec, ArrivalRate(fn)) == 0) return false;
-    insts = InstancesOf(fn);
+    if (st_->ScaleUp(core, spec, core.ArrivalRate(fn)) == 0) return false;
+    insts = core.InstancesOf(fn);
   }
-  return AdmitBounded(LeastLoaded(insts, now), rid, JitterOf(rid), now,
+  return AdmitBounded(LeastLoaded(insts, now), rid, core.JitterOf(rid), now,
                       deadline, spec.slo);
 }
 
-void EsgPlatform::AutoscaleTick() {
-  for (const platform::FunctionSpec& spec : functions()) {
-    const double rate = ArrivalRate(spec.id);
+void EsgScaling::Tick(platform::PlatformCore& core) {
+  for (const platform::FunctionSpec& spec : core.functions()) {
+    const double rate = core.ArrivalRate(spec.id);
     double capacity = 0.0;
-    for (Instance* inst : InstancesOf(spec.id)) {
+    for (Instance* inst : core.InstancesOf(spec.id)) {
       if (inst->CanAdmit()) capacity += inst->CapacityRps();
     }
-    if (rate > config().scaleup_load_factor * capacity) {
-      const double deficit = rate / config().scaleup_load_factor - capacity;
-      ScaleUp(spec, deficit);
+    if (rate > core.config().scaleup_load_factor * capacity) {
+      const double deficit =
+          rate / core.config().scaleup_load_factor - capacity;
+      st_->ScaleUp(core, spec, deficit);
     }
   }
-  // Exclusive keep-alive: idle instances hold their slices for the window.
-  ExpireIdleInstances(config().exclusive_keepalive);
+  // Exclusive keep-alive (idle instances hold their slices for the window)
+  // is the bundle's FixedIdleKeepAlive policy, which runs right after this.
 }
 
-InflessPlatform::InflessPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
-                                 metrics::Recorder& recorder,
-                                 std::vector<platform::FunctionSpec> functions,
-                                 platform::PlatformConfig config)
-    : Platform(sim, cluster, recorder, std::move(functions), config) {}
-
-bool InflessPlatform::Route(RequestId rid, FunctionId fn) {
-  const platform::FunctionSpec& spec = function(fn);
-  const SimTime now = simulator().Now();
-  const SimTime deadline = recorder().record(rid).deadline;
-  std::vector<Instance*> insts = InstancesOf(fn);
+bool InflessRouting::Route(platform::PlatformCore& core, RequestId rid,
+                           FunctionId fn) {
+  const platform::FunctionSpec& spec = core.function(fn);
+  const SimTime now = core.simulator().Now();
+  const SimTime deadline = core.DeadlineOf(rid);
+  std::vector<Instance*> insts = core.InstancesOf(fn);
 
   if (insts.empty()) {
-    auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+    auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
     if (!sid) return false;
-    auto plan = core::MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+    auto plan = core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
     if (!plan) return false;
-    insts.push_back(LaunchInstance(spec, std::move(*plan), IsWarm(fn)));
+    insts.push_back(
+        core.LaunchInstance(spec, std::move(*plan), core.IsWarm(fn)));
   }
 
   // Least outstanding work, no SLO-awareness in the pick.
@@ -145,27 +141,81 @@ bool InflessPlatform::Route(RequestId rid, FunctionId fn) {
       best = inst;
     }
   }
-  return AdmitBounded(best, rid, JitterOf(rid), now, deadline, spec.slo);
+  return AdmitBounded(best, rid, core.JitterOf(rid), now, deadline, spec.slo);
 }
 
-void InflessPlatform::AutoscaleTick() {
-  for (const platform::FunctionSpec& spec : functions()) {
-    const double rate = ArrivalRate(spec.id);
+void InflessScaling::Tick(platform::PlatformCore& core) {
+  for (const platform::FunctionSpec& spec : core.functions()) {
+    const double rate = core.ArrivalRate(spec.id);
     double capacity = 0.0;
-    for (Instance* inst : InstancesOf(spec.id)) {
+    for (Instance* inst : core.InstancesOf(spec.id)) {
       if (inst->CanAdmit()) capacity += inst->CapacityRps();
     }
     int guard = 0;
-    while (rate > config().scaleup_load_factor * capacity && guard++ < 8) {
-      auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+    while (rate > core.config().scaleup_load_factor * capacity &&
+           guard++ < 8) {
+      auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
       if (!sid) break;
-      auto plan = core::MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+      auto plan = core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
       if (!plan) break;
-      Instance* inst = LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+      Instance* inst =
+          core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
       capacity += inst->CapacityRps();
     }
   }
-  ExpireIdleInstances(config().exclusive_keepalive);
+}
+
+platform::PolicyBundle MakeEsgBundle(std::shared_ptr<EsgState> state) {
+  if (!state) state = std::make_shared<EsgState>();
+  platform::PolicyBundle bundle;
+  bundle.name = "ESG";
+  bundle.routing = std::make_unique<EsgRouting>(state);
+  bundle.scaling = std::make_unique<EsgScaling>(state);
+  bundle.keepalive = std::make_unique<platform::FixedIdleKeepAlive>();
+  return bundle;
+}
+
+platform::PolicyBundle MakeInflessBundle() {
+  platform::PolicyBundle bundle;
+  bundle.name = "INFless";
+  bundle.routing = std::make_unique<InflessRouting>();
+  bundle.scaling = std::make_unique<InflessScaling>();
+  bundle.keepalive = std::make_unique<platform::FixedIdleKeepAlive>();
+  return bundle;
+}
+
+void RegisterBaselineSchedulers() {
+  platform::RegisterScheduler("ESG", [] { return MakeEsgBundle(); });
+  platform::RegisterScheduler("INFless", [] { return MakeInflessBundle(); });
+  platform::RegisterScheduler("Repartition",
+                              [] { return MakeRepartitionBundle(); });
+}
+
+EsgPlatform::EsgPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                         metrics::Recorder& recorder,
+                         std::vector<platform::FunctionSpec> functions,
+                         platform::PlatformConfig config)
+    : EsgPlatform(sim, cluster, recorder, std::move(functions), config,
+                  std::make_shared<EsgState>()) {}
+
+EsgPlatform::EsgPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                         metrics::Recorder& recorder,
+                         std::vector<platform::FunctionSpec> functions,
+                         platform::PlatformConfig config,
+                         std::shared_ptr<EsgState> state)
+    : PlatformCore(sim, cluster, std::move(functions), config,
+                   MakeEsgBundle(state)),
+      state_(std::move(state)) {
+  recorder.SubscribeTo(sim.bus());
+}
+
+InflessPlatform::InflessPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                                 metrics::Recorder& recorder,
+                                 std::vector<platform::FunctionSpec> functions,
+                                 platform::PlatformConfig config)
+    : PlatformCore(sim, cluster, std::move(functions), config,
+                   MakeInflessBundle()) {
+  recorder.SubscribeTo(sim.bus());
 }
 
 }  // namespace fluidfaas::baselines

@@ -1,5 +1,6 @@
-// ESG baseline platform (Hui et al., HPDC '24): the state-of-the-art
-// monolithic MIG scheduler this paper compares against.
+// ESG baseline (Hui et al., HPDC '24): the state-of-the-art monolithic MIG
+// scheduler this paper compares against, as a policy bundle over
+// platform::PlatformCore.
 //
 // Structural properties reproduced from the paper's description:
 //   * a serverless function is a single unit — every instance occupies one
@@ -7,56 +8,105 @@
 //   * scale-up chooses slice sets by A* search with dual-blade pruning,
 //     picking the most resource-efficient configuration that meets the SLO;
 //   * exclusive keep-alive — an idle instance holds its slice for the full
-//     keep-alive window, blocking other functions (the Fig. 5 behaviour);
+//     keep-alive window, blocking other functions (the Fig. 5 behaviour) —
+//     expressed as platform::FixedIdleKeepAlive;
 //   * deadline-aware routing to the least-loaded instance.
+//
+// This header also hosts the INFless baseline (same keep-alive, simpler
+// placement); both register through RegisterBaselineSchedulers().
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "metrics/recorder.h"
 #include "platform/platform.h"
+#include "platform/policy.h"
 
 namespace fluidfaas::baselines {
 
-class EsgPlatform : public platform::Platform {
+/// Shared state of the ESG routing/scaling pair: the A* search counter and
+/// the scale-up machinery both sides invoke (routing scales up on the cold
+/// path, scaling on deficit).
+class EsgState {
+ public:
+  /// Free-slice counts per profile, cluster-wide.
+  std::vector<int> FreeCounts(const platform::PlatformCore& core) const;
+
+  /// Launch monolithic instances per the A* result; returns #launched.
+  int ScaleUp(platform::PlatformCore& core,
+              const platform::FunctionSpec& spec, double demand_rps);
+
+  std::size_t searches = 0;
+};
+
+class EsgRouting final : public platform::RoutingPolicy {
+ public:
+  explicit EsgRouting(std::shared_ptr<EsgState> st) : st_(std::move(st)) {}
+  bool Route(platform::PlatformCore& core, RequestId rid,
+             FunctionId fn) override;
+
+ private:
+  std::shared_ptr<EsgState> st_;
+};
+
+class EsgScaling final : public platform::ScalingPolicy {
+ public:
+  explicit EsgScaling(std::shared_ptr<EsgState> st) : st_(std::move(st)) {}
+  void Tick(platform::PlatformCore& core) override;
+
+ private:
+  std::shared_ptr<EsgState> st_;
+};
+
+/// INFless with MIG support (§6): the second monolithic baseline. Same
+/// exclusive keep-alive; placement is simple best-fit by memory (no
+/// SLO-aware search), routing is least-outstanding. Both policies are
+/// stateless.
+class InflessRouting final : public platform::RoutingPolicy {
+ public:
+  bool Route(platform::PlatformCore& core, RequestId rid,
+             FunctionId fn) override;
+};
+
+class InflessScaling final : public platform::ScalingPolicy {
+ public:
+  void Tick(platform::PlatformCore& core) override;
+};
+
+platform::PolicyBundle MakeEsgBundle(std::shared_ptr<EsgState> state = nullptr);
+platform::PolicyBundle MakeInflessBundle();
+
+/// Register "ESG", "INFless" and "Repartition" in the platform::registry
+/// factory. Idempotent.
+void RegisterBaselineSchedulers();
+
+/// Convenience platforms pre-wired with their bundle; each subscribes
+/// `recorder` to the simulator's bus.
+class EsgPlatform : public platform::PlatformCore {
  public:
   EsgPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
               metrics::Recorder& recorder,
               std::vector<platform::FunctionSpec> functions,
               platform::PlatformConfig config);
 
-  std::string name() const override { return "ESG"; }
-
-  std::size_t searches() const { return searches_; }
-
- protected:
-  bool Route(RequestId rid, FunctionId fn) override;
-  void AutoscaleTick() override;
+  std::size_t searches() const { return state_->searches; }
 
  private:
-  /// Free-slice counts per profile, cluster-wide.
-  std::vector<int> FreeCounts() const;
+  EsgPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+              metrics::Recorder& recorder,
+              std::vector<platform::FunctionSpec> functions,
+              platform::PlatformConfig config, std::shared_ptr<EsgState> state);
 
-  /// Launch monolithic instances per the A* result; returns #launched.
-  int ScaleUp(const platform::FunctionSpec& spec, double demand_rps);
-
-  std::size_t searches_ = 0;
+  std::shared_ptr<EsgState> state_;
 };
 
-/// INFless with MIG support (§6): the second monolithic baseline. Same
-/// exclusive keep-alive; placement is simple best-fit by memory (no
-/// SLO-aware search), routing is least-outstanding.
-class InflessPlatform : public platform::Platform {
+class InflessPlatform : public platform::PlatformCore {
  public:
   InflessPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
                   metrics::Recorder& recorder,
                   std::vector<platform::FunctionSpec> functions,
                   platform::PlatformConfig config);
-
-  std::string name() const override { return "INFless"; }
-
- protected:
-  bool Route(RequestId rid, FunctionId fn) override;
-  void AutoscaleTick() override;
 };
 
 }  // namespace fluidfaas::baselines

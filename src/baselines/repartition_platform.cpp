@@ -1,9 +1,11 @@
 #include "baselines/repartition_platform.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "core/pipeline.h"
+#include "sim/events.h"
 
 namespace fluidfaas::baselines {
 
@@ -18,13 +20,7 @@ InstanceId ReconfigSentinel(GpuId gpu) {
 
 }  // namespace
 
-RepartitionPlatform::RepartitionPlatform(
-    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
-    std::vector<platform::FunctionSpec> functions,
-    platform::PlatformConfig config)
-    : Platform(sim, cluster, recorder, std::move(functions), config) {}
-
-gpu::MigPartition RepartitionPlatform::BestPartitionFor(Bytes needed_memory) {
+gpu::MigPartition BestRepartitionFor(Bytes needed_memory) {
   const auto all = gpu::EnumerateMaximalPartitions();
   const gpu::MigPartition* best = nullptr;
   int best_fits = -1;
@@ -45,64 +41,70 @@ gpu::MigPartition RepartitionPlatform::BestPartitionFor(Bytes needed_memory) {
   return *best;
 }
 
-platform::Instance* RepartitionPlatform::TryLaunch(
-    const platform::FunctionSpec& spec) {
-  auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+Instance* RepartitionState::TryLaunch(platform::PlatformCore& core,
+                                      const platform::FunctionSpec& spec) {
+  auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
   if (!sid) return nullptr;
-  auto plan = core::MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+  auto plan = core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
   if (!plan) return nullptr;
-  return LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+  return core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
 }
 
-void RepartitionPlatform::ExecuteReconfig(GpuId gpu_id,
-                                          Bytes needed_memory) {
-  const gpu::MigPartition target = BestPartitionFor(needed_memory);
-  const std::vector<SliceId> fresh = cluster().RepartitionGpu(gpu_id, target);
-  recorder().SyncSlices(cluster());
+void RepartitionState::ExecuteReconfig(platform::PlatformCore& core,
+                                       GpuId gpu_id, Bytes needed_memory) {
+  const gpu::MigPartition target = BestRepartitionFor(needed_memory);
+  const std::vector<SliceId> fresh =
+      core.cluster().RepartitionGpu(gpu_id, target);
+  const SimTime now = core.simulator().Now();
+  const SimDuration cost = reconfig.Cost(/*checkpointed_state=*/0);
+  // Subscribers (the Recorder in particular) re-sync their slice tables off
+  // this event, so it must precede the sentinel SliceBound announcements.
+  core.bus().Publish(sim::PartitionReconfigured{gpu_id, now, target.ToString(),
+                                               cost});
   // Block the fresh slices for the checkpoint/repartition/resume window.
-  const SimTime now = simulator().Now();
   for (SliceId sid : fresh) {
-    cluster().Bind(sid, ReconfigSentinel(gpu_id));
-    recorder().SliceBound(sid, now);
+    core.cluster().Bind(sid, ReconfigSentinel(gpu_id));
+    core.bus().Publish(sim::SliceBound{sid, ReconfigSentinel(gpu_id), now});
   }
-  const SimDuration cost = reconfig_.Cost(/*checkpointed_state=*/0);
-  blackout_total_ += cost;
-  ++reconfigurations_;
-  reconfiguring_.insert(gpu_id.value);
+  blackout_total += cost;
+  ++reconfigurations;
+  reconfiguring.insert(gpu_id.value);
   FFS_LOG_INFO("repartition")
       << "GPU " << gpu_id.value << " -> " << target.ToString()
       << ", blackout " << ToSeconds(cost) << "s";
-  simulator().After(cost, [this, gpu_id, fresh] {
-    const SimTime t = simulator().Now();
+  core.simulator().After(cost, [&core, self = shared_from_this(), gpu_id,
+                                fresh] {
+    const SimTime t = core.simulator().Now();
     for (SliceId sid : fresh) {
-      cluster().Release(sid, ReconfigSentinel(gpu_id));
-      recorder().SliceReleased(sid, t);
+      core.cluster().Release(sid, ReconfigSentinel(gpu_id));
+      core.bus().Publish(sim::SliceReleased{sid, ReconfigSentinel(gpu_id), t});
     }
-    reconfiguring_.erase(gpu_id.value);
-    DispatchPending();
+    self->reconfiguring.erase(gpu_id.value);
+    core.DispatchPending();
   });
 }
 
-bool RepartitionPlatform::TryReconfigure(const platform::FunctionSpec& spec) {
-  const gpu::MigPartition target = BestPartitionFor(spec.total_memory);
+bool RepartitionState::TryReconfigure(platform::PlatformCore& core,
+                                      const platform::FunctionSpec& spec) {
+  const gpu::MigPartition target = BestRepartitionFor(spec.total_memory);
 
   // Preferred path: a fully idle GPU swaps immediately.
-  for (const gpu::Gpu& g : cluster().gpus()) {
-    if (reconfiguring_.count(g.id().value)) continue;
+  for (const gpu::Gpu& g : core.cluster().gpus()) {
+    if (reconfiguring.count(g.id().value)) continue;
     if (!g.AllSlicesFree()) continue;
     if (target.Profiles() == g.partition().Profiles()) continue;
-    ExecuteReconfig(g.id(), spec.total_memory);
+    ExecuteReconfig(core, g.id(), spec.total_memory);
     return true;
   }
 
   // Otherwise drain one busy GPU and reconfigure it once it empties —
   // sacrificing its current capacity on top of the blackout to come.
-  if (drain_targets_.size() + reconfiguring_.size() >= 2) return false;
-  for (const gpu::Gpu& g : cluster().gpus()) {
-    if (reconfiguring_.count(g.id().value)) continue;
+  if (drain_targets.size() + reconfiguring.size() >= 2) return false;
+  for (const gpu::Gpu& g : core.cluster().gpus()) {
+    if (reconfiguring.count(g.id().value)) continue;
     if (target.Profiles() == g.partition().Profiles()) continue;
     bool already_target = false;
-    for (const DrainTarget& t : drain_targets_) {
+    for (const DrainTarget& t : drain_targets) {
       if (t.gpu == g.id()) already_target = true;
     }
     if (already_target) continue;
@@ -113,16 +115,16 @@ bool RepartitionPlatform::TryReconfigure(const platform::FunctionSpec& spec) {
     }
     if (!drainable) continue;
 
-    for (const platform::FunctionSpec& fn : functions()) {
-      for (platform::Instance* inst : InstancesOf(fn.id)) {
+    for (const platform::FunctionSpec& fn : core.functions()) {
+      for (Instance* inst : core.InstancesOf(fn.id)) {
         bool on_gpu = false;
         for (const core::StageBinding& b : inst->plan().stages) {
-          if (cluster().slice(b.slice).gpu == g.id()) on_gpu = true;
+          if (core.cluster().slice(b.slice).gpu == g.id()) on_gpu = true;
         }
-        if (on_gpu) DrainOrRetire(inst);
+        if (on_gpu) core.DrainOrRetire(inst);
       }
     }
-    drain_targets_.push_back(DrainTarget{g.id(), spec.total_memory});
+    drain_targets.push_back(DrainTarget{g.id(), spec.total_memory});
     FFS_LOG_INFO("repartition")
         << "draining GPU " << g.id().value << " for reconfiguration";
     return true;
@@ -130,14 +132,22 @@ bool RepartitionPlatform::TryReconfigure(const platform::FunctionSpec& spec) {
   return false;
 }
 
-bool RepartitionPlatform::Route(RequestId rid, FunctionId fn) {
-  const platform::FunctionSpec& spec = function(fn);
-  const SimTime now = simulator().Now();
-  const SimTime deadline = recorder().record(rid).deadline;
+platform::SchedulerCounters RepartitionState::counters() const {
+  platform::SchedulerCounters c;
+  c.reconfigurations = reconfigurations;
+  c.reconfiguration_blackout = blackout_total;
+  return c;
+}
 
-  std::vector<Instance*> insts = InstancesOf(fn);
+bool RepartitionRouting::Route(platform::PlatformCore& core, RequestId rid,
+                               FunctionId fn) {
+  const platform::FunctionSpec& spec = core.function(fn);
+  const SimTime now = core.simulator().Now();
+  const SimTime deadline = core.DeadlineOf(rid);
+
+  std::vector<Instance*> insts = core.InstancesOf(fn);
   if (insts.empty()) {
-    Instance* inst = TryLaunch(spec);
+    Instance* inst = st_->TryLaunch(core, spec);
     if (inst == nullptr) return false;  // tick may reconfigure
     insts.push_back(inst);
   }
@@ -154,49 +164,84 @@ bool RepartitionPlatform::Route(RequestId rid, FunctionId fn) {
   if (best == nullptr || !best->AdmitWithinBound(now, deadline, spec.slo)) {
     return false;
   }
-  best->Enqueue(rid, JitterOf(rid));
+  best->Enqueue(rid, core.JitterOf(rid));
   return true;
 }
 
-void RepartitionPlatform::AutoscaleTick() {
+void RepartitionScaling::Tick(platform::PlatformCore& core) {
   // Retire drained instances, then execute reconfigurations whose GPU has
   // finally emptied.
-  for (const platform::FunctionSpec& spec : functions()) {
-    for (platform::Instance* inst : InstancesOf(spec.id)) {
+  for (const platform::FunctionSpec& spec : core.functions()) {
+    for (Instance* inst : core.InstancesOf(spec.id)) {
       if (inst->state() == platform::InstanceState::kDraining &&
           inst->Idle()) {
-        RetireInstance(inst);
+        core.RetireInstance(inst);
       }
     }
   }
-  for (auto it = drain_targets_.begin(); it != drain_targets_.end();) {
-    const gpu::Gpu& g = cluster().gpu(it->gpu);
+  for (auto it = st_->drain_targets.begin();
+       it != st_->drain_targets.end();) {
+    const gpu::Gpu& g = core.cluster().gpu(it->gpu);
     if (g.AllSlicesFree()) {
-      ExecuteReconfig(it->gpu, it->needed_memory);
-      it = drain_targets_.erase(it);
+      st_->ExecuteReconfig(core, it->gpu, it->needed_memory);
+      it = st_->drain_targets.erase(it);
     } else {
       ++it;
     }
   }
 
-  for (const platform::FunctionSpec& spec : functions()) {
-    const double rate = ArrivalRate(spec.id);
+  for (const platform::FunctionSpec& spec : core.functions()) {
+    const double rate = core.ArrivalRate(spec.id);
     double capacity = 0.0;
-    for (Instance* inst : InstancesOf(spec.id)) {
+    for (Instance* inst : core.InstancesOf(spec.id)) {
       if (inst->CanAdmit()) capacity += inst->CapacityRps();
     }
     int guard = 0;
-    while (rate > config().scaleup_load_factor * capacity && guard++ < 8) {
-      Instance* inst = TryLaunch(spec);
+    while (rate > core.config().scaleup_load_factor * capacity &&
+           guard++ < 8) {
+      Instance* inst = st_->TryLaunch(core, spec);
       if (inst == nullptr) {
         // Fragmented out: try to right the partition mix instead.
-        TryReconfigure(spec);
+        st_->TryReconfigure(core, spec);
         break;
       }
       capacity += inst->CapacityRps();
     }
   }
-  ExpireIdleInstances(config().exclusive_keepalive);
+  // Exclusive keep-alive runs as the bundle's FixedIdleKeepAlive right after.
+}
+
+platform::PolicyBundle MakeRepartitionBundle(
+    std::shared_ptr<RepartitionState> state) {
+  if (!state) state = std::make_shared<RepartitionState>();
+  platform::PolicyBundle bundle;
+  bundle.name = "Repartition";
+  bundle.routing = std::make_unique<RepartitionRouting>(state);
+  bundle.scaling = std::make_unique<RepartitionScaling>(state);
+  bundle.keepalive = std::make_unique<platform::FixedIdleKeepAlive>();
+  bundle.counters = [state] { return state->counters(); };
+  return bundle;
+}
+
+RepartitionPlatform::RepartitionPlatform(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config)
+    : RepartitionPlatform(sim, cluster, recorder, std::move(functions), config,
+                          std::make_shared<RepartitionState>()) {}
+
+RepartitionPlatform::RepartitionPlatform(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config, std::shared_ptr<RepartitionState> state)
+    : PlatformCore(sim, cluster, std::move(functions), config,
+                   MakeRepartitionBundle(state)),
+      state_(std::move(state)) {
+  recorder.SubscribeTo(sim.bus());
+}
+
+gpu::MigPartition RepartitionPlatform::BestPartitionFor(Bytes needed_memory) {
+  return BestRepartitionFor(needed_memory);
 }
 
 }  // namespace fluidfaas::baselines

@@ -2,68 +2,116 @@
 // at runtime instead of pipelining around the fixed partition.
 //
 // The paper dismisses dynamic MIG reconfiguration because it takes minutes
-// (§2.2, citing Miso); this platform implements it anyway so the trade-off
+// (§2.2, citing Miso); this bundle implements it anyway so the trade-off
 // is measurable. It schedules monolithically (best-fit, like INFless-MIG),
 // and when a function cannot be placed on any free slice while a fully idle
 // GPU exists, it reconfigures that GPU to the partition that best serves the
 // stranded demand — paying the ReconfigCostModel blackout, during which the
-// GPU's fresh slices are held by a sentinel binding.
+// GPU's fresh slices are held by a sentinel binding. Each swap is published
+// as sim::PartitionReconfigured (the Recorder syncs its slice table off it).
 //
 // bench/ablation_reconfig.cpp races it against FluidFaaS: reconfiguration
 // eventually rights the partition mix, but every correction costs minutes of
 // capacity, which is exactly why FluidFaaS pipelines instead.
 #pragma once
 
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
+#include "metrics/recorder.h"
 #include "platform/platform.h"
+#include "platform/policy.h"
 
 namespace fluidfaas::baselines {
 
-class RepartitionPlatform : public platform::Platform {
+/// Pick the maximal A100 partition that best hosts a monolithic demand of
+/// `needed_memory`: most slices that fit it, then most total GPCs.
+gpu::MigPartition BestRepartitionFor(Bytes needed_memory);
+
+/// Reconfiguration state shared by the Repartition routing/scaling pair.
+/// Must be heap-held by shared_ptr (the blackout-release callback keeps it
+/// alive past the policies), hence enable_shared_from_this.
+class RepartitionState
+    : public std::enable_shared_from_this<RepartitionState> {
+ public:
+  /// Launch one best-fit monolithic instance if possible.
+  platform::Instance* TryLaunch(platform::PlatformCore& core,
+                                const platform::FunctionSpec& spec);
+
+  /// Begin reconfiguring for `spec`'s demand: use a fully idle GPU when one
+  /// exists, otherwise pick a GPU whose instances can be drained and
+  /// reconfigure it once it empties. Returns false when nothing can even be
+  /// scheduled.
+  bool TryReconfigure(platform::PlatformCore& core,
+                      const platform::FunctionSpec& spec);
+
+  /// Execute the partition swap on an already-free GPU (blackout included).
+  void ExecuteReconfig(platform::PlatformCore& core, GpuId gpu,
+                       Bytes needed_memory);
+
+  platform::SchedulerCounters counters() const;
+
+  gpu::ReconfigCostModel reconfig;
+  std::unordered_set<std::int32_t> reconfiguring;  // GpuId values
+  struct DrainTarget {
+    GpuId gpu;
+    Bytes needed_memory;
+  };
+  std::vector<DrainTarget> drain_targets;
+  std::size_t reconfigurations = 0;
+  SimDuration blackout_total = 0;
+};
+
+class RepartitionRouting final : public platform::RoutingPolicy {
+ public:
+  explicit RepartitionRouting(std::shared_ptr<RepartitionState> st)
+      : st_(std::move(st)) {}
+  bool Route(platform::PlatformCore& core, RequestId rid,
+             FunctionId fn) override;
+
+ private:
+  std::shared_ptr<RepartitionState> st_;
+};
+
+class RepartitionScaling final : public platform::ScalingPolicy {
+ public:
+  explicit RepartitionScaling(std::shared_ptr<RepartitionState> st)
+      : st_(std::move(st)) {}
+  void Tick(platform::PlatformCore& core) override;
+
+ private:
+  std::shared_ptr<RepartitionState> st_;
+};
+
+platform::PolicyBundle MakeRepartitionBundle(
+    std::shared_ptr<RepartitionState> state = nullptr);
+
+/// Convenience platform pre-wired with the Repartition bundle; subscribes
+/// `recorder` to the simulator's bus.
+class RepartitionPlatform : public platform::PlatformCore {
  public:
   RepartitionPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
                       metrics::Recorder& recorder,
                       std::vector<platform::FunctionSpec> functions,
                       platform::PlatformConfig config);
 
-  std::string name() const override { return "Repartition"; }
+  std::size_t reconfigurations() const { return state_->reconfigurations; }
+  SimDuration reconfiguration_blackout() const {
+    return state_->blackout_total;
+  }
 
-  std::size_t reconfigurations() const { return reconfigurations_; }
-  SimDuration reconfiguration_blackout() const { return blackout_total_; }
-
-  /// Pick the maximal A100 partition that best hosts a monolithic demand of
-  /// `needed_memory`: most slices that fit it, then most total GPCs.
-  /// Exposed for tests.
+  /// Exposed for tests; see BestRepartitionFor.
   static gpu::MigPartition BestPartitionFor(Bytes needed_memory);
 
- protected:
-  bool Route(RequestId rid, FunctionId fn) override;
-  void AutoscaleTick() override;
-
  private:
-  /// Launch one best-fit monolithic instance if possible.
-  platform::Instance* TryLaunch(const platform::FunctionSpec& spec);
+  RepartitionPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                      metrics::Recorder& recorder,
+                      std::vector<platform::FunctionSpec> functions,
+                      platform::PlatformConfig config,
+                      std::shared_ptr<RepartitionState> state);
 
-  /// Begin reconfiguring for `spec`'s demand: use a fully idle GPU when one
-  /// exists, otherwise pick a GPU whose instances can be drained and
-  /// reconfigure it once it empties. Returns false when nothing can even be
-  /// scheduled.
-  bool TryReconfigure(const platform::FunctionSpec& spec);
-
-  /// Execute the partition swap on an already-free GPU (blackout included).
-  void ExecuteReconfig(GpuId gpu, Bytes needed_memory);
-
-  gpu::ReconfigCostModel reconfig_;
-  std::unordered_set<std::int32_t> reconfiguring_;  // GpuId values
-  struct DrainTarget {
-    GpuId gpu;
-    Bytes needed_memory;
-  };
-  std::vector<DrainTarget> drain_targets_;
-  std::size_t reconfigurations_ = 0;
-  SimDuration blackout_total_ = 0;
+  std::shared_ptr<RepartitionState> state_;
 };
 
 }  // namespace fluidfaas::baselines

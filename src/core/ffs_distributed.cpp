@@ -1,38 +1,38 @@
 #include "core/ffs_distributed.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "common/error.h"
 #include "common/logging.h"
 #include "core/partitioner.h"
 #include "core/pipeline.h"
+#include "sim/events.h"
 
 namespace fluidfaas::core {
 
 using platform::Instance;
 using platform::InstanceState;
 
-DistributedFluidFaas::DistributedFluidFaas(
-    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
-    std::vector<platform::FunctionSpec> functions,
-    platform::PlatformConfig config)
-    : Platform(sim, cluster, recorder, std::move(functions), config) {
-  invokers_.resize(static_cast<std::size_t>(cluster.num_nodes()));
+void DistState::EnsureSized(const platform::PlatformCore& core) {
+  if (!invokers.empty()) return;
+  const gpu::Cluster& cluster = core.cluster();
+  invokers.resize(static_cast<std::size_t>(cluster.num_nodes()));
   for (int n = 0; n < cluster.num_nodes(); ++n) {
-    invokers_[static_cast<std::size_t>(n)].node = NodeId(n);
-    invokers_[static_cast<std::size_t>(n)].per_fn.resize(
-        this->functions().size());
+    invokers[static_cast<std::size_t>(n)].node = NodeId(n);
+    invokers[static_cast<std::size_t>(n)].per_fn.resize(
+        core.functions().size());
   }
 }
 
-DistributedFluidFaas::FnState& DistributedFluidFaas::state(Invoker& inv,
-                                                           FunctionId fn) {
+DistState::FnState& DistState::state(Invoker& inv, FunctionId fn) {
   FFS_CHECK(fn.valid() &&
             static_cast<std::size_t>(fn.value) < inv.per_fn.size());
   return inv.per_fn[static_cast<std::size_t>(fn.value)];
 }
 
-void DistributedFluidFaas::PruneDead(FnState& st) {
+void DistState::PruneDead(FnState& st) {
   std::erase_if(st.eh, [](Instance* i) {
     return i->state() == InstanceState::kRetired ||
            i->state() == InstanceState::kDraining;
@@ -42,20 +42,22 @@ void DistributedFluidFaas::PruneDead(FnState& st) {
   }
 }
 
-std::vector<std::size_t> DistributedFluidFaas::RoutedPerInvoker() const {
-  std::vector<std::size_t> out;
-  for (const Invoker& inv : invokers_) out.push_back(inv.routed);
-  return out;
+platform::SchedulerCounters DistState::counters() const {
+  platform::SchedulerCounters c;
+  c.evictions = evictions;
+  c.pipelines_launched = pipelines_launched;
+  return c;
 }
 
-int DistributedFluidFaas::ChooseInvoker(FunctionId fn, SimTime now) {
+int DistState::ChooseInvoker(platform::PlatformCore& core, FunctionId fn,
+                             SimTime now) {
   // Prefer the invoker whose live instances of `fn` promise the earliest
   // completion (request affinity keeps models warm); break ties — and the
   // no-instances case — with the invoker holding the most free GPCs.
   int best = -1;
   SimTime best_est = kTimeInfinity;
-  for (std::size_t i = 0; i < invokers_.size(); ++i) {
-    FnState& st = state(invokers_[i], fn);
+  for (std::size_t i = 0; i < invokers.size(); ++i) {
+    FnState& st = state(invokers[i], fn);
     PruneDead(st);
     for (Instance* inst : st.eh) {
       if (inst->CanAdmit()) {
@@ -75,10 +77,10 @@ int DistributedFluidFaas::ChooseInvoker(FunctionId fn, SimTime now) {
 
   int most_free = 0;
   int free_gpcs = -1;
-  for (std::size_t i = 0; i < invokers_.size(); ++i) {
+  for (std::size_t i = 0; i < invokers.size(); ++i) {
     int g = 0;
-    for (SliceId sid : cluster().FreeSlicesOnNode(invokers_[i].node)) {
-      g += cluster().slice(sid).gpcs();
+    for (SliceId sid : core.cluster().FreeSlicesOnNode(invokers[i].node)) {
+      g += core.cluster().slice(sid).gpcs();
     }
     if (g > free_gpcs) {
       free_gpcs = g;
@@ -88,41 +90,44 @@ int DistributedFluidFaas::ChooseInvoker(FunctionId fn, SimTime now) {
   return most_free;
 }
 
-platform::Instance* DistributedFluidFaas::LaunchExclusiveOn(
-    Invoker& inv, const platform::FunctionSpec& spec) {
+platform::Instance* DistState::LaunchExclusiveOn(
+    platform::PlatformCore& core, Invoker& inv,
+    const platform::FunctionSpec& spec) {
   std::optional<PipelinePlan> plan;
-  if (config().enable_pipelines) {
+  if (core.config().enable_pipelines) {
     for (const PipelineCandidate& cand : spec.ranked_pipelines) {
-      plan = TryPlanOnNode(spec.dag, cand, cluster(), inv.node,
-                           config().transfer);
+      plan = TryPlanOnNode(spec.dag, cand, core.cluster(), inv.node,
+                           core.config().transfer);
       if (plan) break;
     }
   } else {
-    for (SliceId sid : cluster().FreeSlicesOnNode(inv.node)) {
-      if (cluster().slice(sid).memory() < spec.total_memory) continue;
-      plan = MonolithicPlanOnSlice(spec.dag, cluster(), sid);
+    for (SliceId sid : core.cluster().FreeSlicesOnNode(inv.node)) {
+      if (core.cluster().slice(sid).memory() < spec.total_memory) continue;
+      plan = MonolithicPlanOnSlice(spec.dag, core.cluster(), sid);
       if (plan) break;
     }
   }
   if (!plan) return nullptr;
-  if (plan->num_stages() > 1) ++pipelines_launched_;
-  Instance* inst = LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+  if (plan->num_stages() > 1) ++pipelines_launched;
+  Instance* inst =
+      core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
   state(inv, spec.id).eh.push_back(inst);
   return inst;
 }
 
-platform::Instance* DistributedFluidFaas::EnsureTsResidentOn(Invoker& inv,
-                                                             FunctionId fn) {
+platform::Instance* DistState::EnsureTsResidentOn(platform::PlatformCore& core,
+                                                  Invoker& inv,
+                                                  FunctionId fn) {
   FnState& st = state(inv, fn);
   FFS_CHECK(st.ts == nullptr);
-  const platform::FunctionSpec& spec = function(fn);
+  const platform::FunctionSpec& spec = core.function(fn);
 
   // Smallest free slice on this node.
   std::optional<SliceId> sid;
-  for (SliceId cand : cluster().FreeSlicesOnNode(inv.node)) {
-    const auto& s = cluster().slice(cand);
+  for (SliceId cand : core.cluster().FreeSlicesOnNode(inv.node)) {
+    const auto& s = core.cluster().slice(cand);
     if (s.memory() < spec.total_memory) continue;
-    if (!sid || cluster().slice(*sid).gpcs() > s.gpcs()) sid = cand;
+    if (!sid || core.cluster().slice(*sid).gpcs() > s.gpcs()) sid = cand;
   }
   SimDuration evict_cost = 0;
   if (!sid) {
@@ -134,7 +139,7 @@ platform::Instance* DistributedFluidFaas::EnsureTsResidentOn(Invoker& inv,
       if (other.ts == nullptr || !other.ts->Idle()) continue;
       if (FunctionId(static_cast<std::int32_t>(f)) == fn) continue;
       const auto& b = other.ts->plan().stages.front();
-      if (cluster().slice(b.slice).memory() < spec.total_memory) continue;
+      if (core.cluster().slice(b.slice).memory() < spec.total_memory) continue;
       if (other.ts->last_used() < oldest) {
         oldest = other.ts->last_used();
         victim = FunctionId(static_cast<std::int32_t>(f));
@@ -143,29 +148,33 @@ platform::Instance* DistributedFluidFaas::EnsureTsResidentOn(Invoker& inv,
     if (!victim.valid()) return nullptr;
     FnState& vic = state(inv, victim);
     const SliceId freed = vic.ts->plan().stages.front().slice;
-    evict_cost = config().load.Evict(vic.ts->plan().TotalWeights());
-    RetireInstance(vic.ts);
+    const InstanceId victim_iid = vic.ts->id();
+    evict_cost = core.config().load.Evict(vic.ts->plan().TotalWeights());
+    core.RetireInstance(vic.ts);
     vic.ts = nullptr;
-    ++evictions_;
+    ++evictions;
+    core.bus().Publish(sim::SchedulerTransition{sim::TransitionKind::kEviction,
+                                                victim, victim_iid,
+                                                core.simulator().Now()});
     sid = freed;
   }
-  auto plan = MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+  auto plan = MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
   if (!plan) return nullptr;
-  Instance* inst =
-      LaunchInstance(spec, std::move(*plan), IsWarm(fn), evict_cost);
+  Instance* inst = core.LaunchInstance(spec, std::move(*plan),
+                                       core.IsWarm(fn), evict_cost);
   st.ts = inst;
   st.has_ts = true;
-  st.ts_last_used = simulator().Now();
+  st.ts_last_used = core.simulator().Now();
   return inst;
 }
 
-bool DistributedFluidFaas::RouteOn(Invoker& inv, RequestId rid,
-                                   FunctionId fn) {
+bool DistState::RouteOn(platform::PlatformCore& core, Invoker& inv,
+                        RequestId rid, FunctionId fn) {
   FnState& st = state(inv, fn);
   PruneDead(st);
-  const platform::FunctionSpec& spec = function(fn);
-  const SimTime now = simulator().Now();
-  const SimTime deadline = recorder().record(rid).deadline;
+  const platform::FunctionSpec& spec = core.function(fn);
+  const SimTime now = core.simulator().Now();
+  const SimTime deadline = core.DeadlineOf(rid);
 
   std::vector<Instance*> hot;
   for (Instance* inst : st.eh) {
@@ -178,30 +187,30 @@ bool DistributedFluidFaas::RouteOn(Invoker& inv, RequestId rid,
   });
   for (Instance* inst : hot) {
     if (inst->EstimateCompletion(now) <= deadline) {
-      inst->Enqueue(rid, JitterOf(rid));
+      inst->Enqueue(rid, core.JitterOf(rid));
       st.ts_last_used = now;
       return true;
     }
   }
-  if (config().enable_time_sharing) {
+  if (core.config().enable_time_sharing) {
     if (st.ts != nullptr && st.ts->CanAdmit()) {
       if (st.ts->EstimateCompletion(now) <= deadline || hot.empty()) {
-        st.ts->Enqueue(rid, JitterOf(rid));
+        st.ts->Enqueue(rid, core.JitterOf(rid));
         st.ts_last_used = now;
         return true;
       }
     } else if (st.ts == nullptr) {
-      Instance* inst = EnsureTsResidentOn(inv, fn);
+      Instance* inst = EnsureTsResidentOn(core, inv, fn);
       if (inst != nullptr) {
-        inst->Enqueue(rid, JitterOf(rid));
+        inst->Enqueue(rid, core.JitterOf(rid));
         st.ts_last_used = now;
         return true;
       }
     }
   } else if (hot.empty()) {
-    Instance* inst = LaunchExclusiveOn(inv, spec);
+    Instance* inst = LaunchExclusiveOn(core, inv, spec);
     if (inst != nullptr) {
-      inst->Enqueue(rid, JitterOf(rid));
+      inst->Enqueue(rid, core.JitterOf(rid));
       return true;
     }
   }
@@ -220,56 +229,66 @@ bool DistributedFluidFaas::RouteOn(Invoker& inv, RequestId rid,
     best = st.ts;
   }
   if (best != nullptr && best->AdmitWithinBound(now, deadline, spec.slo)) {
-    best->Enqueue(rid, JitterOf(rid));
+    best->Enqueue(rid, core.JitterOf(rid));
     st.ts_last_used = now;
     return true;
   }
   return false;
 }
 
-bool DistributedFluidFaas::Route(RequestId rid, FunctionId fn) {
-  const SimTime now = simulator().Now();
-  const int chosen = ChooseInvoker(fn, now);
-  Invoker& inv = invoker(chosen);
-  state(inv, fn).arrivals_this_tick += 1;
-  if (RouteOn(inv, rid, fn)) {
+void DistRouting::Attach(platform::PlatformCore& core) {
+  st_->EnsureSized(core);
+}
+
+bool DistRouting::Route(platform::PlatformCore& core, RequestId rid,
+                        FunctionId fn) {
+  const SimTime now = core.simulator().Now();
+  const int chosen = st_->ChooseInvoker(core, fn, now);
+  DistState::Invoker& inv = st_->invoker(chosen);
+  st_->state(inv, fn).arrivals_this_tick += 1;
+  if (st_->RouteOn(core, inv, rid, fn)) {
     inv.routed += 1;
     return true;
   }
   // Spillover: any other invoker that will take it.
-  for (std::size_t i = 0; i < invokers_.size(); ++i) {
+  for (std::size_t i = 0; i < st_->invokers.size(); ++i) {
     if (static_cast<int>(i) == chosen) continue;
-    if (RouteOn(invokers_[i], rid, fn)) {
-      invokers_[i].routed += 1;
+    if (st_->RouteOn(core, st_->invokers[i], rid, fn)) {
+      st_->invokers[i].routed += 1;
       return true;
     }
   }
   return false;
 }
 
-void DistributedFluidFaas::OnCompleted(RequestId, FunctionId fn) {
-  const SimTime now = simulator().Now();
-  for (Invoker& inv : invokers_) {
-    state(inv, fn).ts_last_used =
-        std::max(state(inv, fn).ts_last_used, now);
-    for (Instance* inst : InstancesOf(fn)) {
+void DistScaling::Attach(platform::PlatformCore& core) {
+  st_->EnsureSized(core);
+}
+
+void DistScaling::OnCompleted(platform::PlatformCore& core, RequestId,
+                              FunctionId fn) {
+  const SimTime now = core.simulator().Now();
+  for (DistState::Invoker& inv : st_->invokers) {
+    st_->state(inv, fn).ts_last_used =
+        std::max(st_->state(inv, fn).ts_last_used, now);
+    for (Instance* inst : core.InstancesOf(fn)) {
       if (inst->state() == InstanceState::kDraining && inst->Idle()) {
-        RetireInstance(inst);
+        core.RetireInstance(inst);
       }
     }
   }
 }
 
-void DistributedFluidFaas::AutoscaleTick() {
-  const SimTime now = simulator().Now();
-  const double period_s = ToSeconds(config().autoscale_period);
+void DistScaling::Tick(platform::PlatformCore& core) {
+  const SimTime now = core.simulator().Now();
+  const double period_s = ToSeconds(core.config().autoscale_period);
 
-  for (Invoker& inv : invokers_) {
+  for (DistState::Invoker& inv : st_->invokers) {
     for (std::size_t f = 0; f < inv.per_fn.size(); ++f) {
       const FunctionId fn(static_cast<std::int32_t>(f));
-      FnState& st = inv.per_fn[f];
-      PruneDead(st);
-      const platform::FunctionSpec& spec = function(fn);
+      DistState::FnState& st = inv.per_fn[f];
+      st_->PruneDead(st);
+      const platform::FunctionSpec& spec = core.function(fn);
 
       // Invoker-local arrival estimate.
       st.arrival_ewma =
@@ -279,10 +298,13 @@ void DistributedFluidFaas::AutoscaleTick() {
 
       // Promotion (re-branding, as in the centralized scheduler).
       if (st.ts != nullptr &&
-          UtilizationOf(st.ts) > config().hot_threshold) {
+          core.UtilizationOf(st.ts) > core.config().hot_threshold) {
+        const InstanceId iid = st.ts->id();
         st.eh.push_back(st.ts);
         st.ts = nullptr;
         st.has_ts = false;
+        core.bus().Publish(sim::SchedulerTransition{
+            sim::TransitionKind::kPromotion, fn, iid, now});
       }
 
       // Local scale-up.
@@ -291,9 +313,10 @@ void DistributedFluidFaas::AutoscaleTick() {
         if (inst->CanAdmit()) capacity += inst->CapacityRps();
       }
       int guard = 0;
-      while (st.arrival_ewma > config().scaleup_load_factor * capacity &&
+      while (st.arrival_ewma >
+                 core.config().scaleup_load_factor * capacity &&
              guard++ < 8) {
-        Instance* inst = LaunchExclusiveOn(inv, spec);
+        Instance* inst = st_->LaunchExclusiveOn(core, inv, spec);
         if (inst == nullptr) break;
         capacity += inst->CapacityRps();
       }
@@ -301,42 +324,79 @@ void DistributedFluidFaas::AutoscaleTick() {
       // Scale-down / demotion.
       for (Instance* inst : std::vector<Instance*>(st.eh)) {
         if (inst->state() != InstanceState::kReady || !inst->Idle()) continue;
-        if (now - inst->last_used() < config().util_window) continue;
-        if (UtilizationOf(inst) >= config().hot_threshold) continue;
-        if (config().enable_time_sharing && !st.has_ts &&
+        if (now - inst->last_used() < core.config().util_window) continue;
+        if (core.UtilizationOf(inst) >= core.config().hot_threshold) continue;
+        if (core.config().enable_time_sharing && !st.has_ts &&
             st.eh.size() == 1 && !inst->IsPipelined()) {
           std::erase(st.eh, inst);
           st.ts = inst;
           st.has_ts = true;
           st.ts_last_used = inst->last_used();
+          core.bus().Publish(sim::SchedulerTransition{
+              sim::TransitionKind::kDemotion, fn, inst->id(), now});
         } else if (st.eh.size() > 1 ||
-                   (config().enable_time_sharing && st.has_ts) ||
+                   (core.config().enable_time_sharing && st.has_ts) ||
                    inst->IsPipelined()) {
           std::erase(st.eh, inst);
-          RetireInstance(inst);
-          if (config().enable_time_sharing && !st.has_ts &&
+          core.RetireInstance(inst);
+          if (core.config().enable_time_sharing && !st.has_ts &&
               st.eh.empty()) {
             st.has_ts = true;  // warm entry
             st.ts_last_used = inst->last_used();
           }
-        } else if (!config().enable_time_sharing &&
+        } else if (!core.config().enable_time_sharing &&
                    now - inst->last_used() >=
-                       config().exclusive_keepalive) {
+                       core.config().exclusive_keepalive) {
           std::erase(st.eh, inst);
-          RetireInstance(inst);
+          core.RetireInstance(inst);
         }
       }
 
       // Cold transition.
-      if (st.has_ts && now - st.ts_last_used > config().warm_timeout) {
+      if (st.has_ts && now - st.ts_last_used > core.config().warm_timeout) {
         if (st.ts != nullptr && st.ts->Idle()) {
-          RetireInstance(st.ts);
+          core.RetireInstance(st.ts);
           st.ts = nullptr;
         }
         if (st.ts == nullptr) st.has_ts = false;
       }
     }
   }
+}
+
+platform::PolicyBundle MakeDistributedBundle(std::shared_ptr<DistState> state) {
+  if (!state) state = std::make_shared<DistState>();
+  platform::PolicyBundle bundle;
+  bundle.name = "FluidFaaS-dist";
+  bundle.routing = std::make_unique<DistRouting>(state);
+  bundle.scaling = std::make_unique<DistScaling>(state);
+  bundle.counters = [state] { return state->counters(); };
+  return bundle;
+}
+
+DistributedFluidFaas::DistributedFluidFaas(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config)
+    : DistributedFluidFaas(sim, cluster, recorder, std::move(functions),
+                           config, std::make_shared<DistState>()) {}
+
+DistributedFluidFaas::DistributedFluidFaas(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config, std::shared_ptr<DistState> state)
+    : PlatformCore(sim, cluster, std::move(functions), config,
+                   MakeDistributedBundle(state)),
+      state_(std::move(state)) {
+  recorder.SubscribeTo(sim.bus());
+}
+
+std::vector<std::size_t> DistributedFluidFaas::RoutedPerInvoker() const {
+  std::vector<std::size_t> out;
+  for (const DistState::Invoker& inv : state_->invokers) {
+    out.push_back(inv.routed);
+  }
+  return out;
 }
 
 }  // namespace fluidfaas::core

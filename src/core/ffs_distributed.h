@@ -4,12 +4,12 @@
 // it functions as a local scheduler ... This decentralized approach allows
 // the scheduler to efficiently build pipelines and allocate resources,
 // adapting to the invoker's current conditions", with the central
-// controller left unmodified. FluidFaasPlatform models that logically (its
-// planner already confines a pipeline to one node); this class models it
-// *structurally*: one invoker per node, each owning only its node's
-// instances and free slices, with a front load balancer that picks an
-// invoker per request and per-invoker autoscaling driven by each invoker's
-// own observed arrivals.
+// controller left unmodified. The centralized FluidFaaS bundle models that
+// logically (its planner already confines a pipeline to one node); this
+// bundle models it *structurally*: one invoker per node, each owning only
+// its node's instances and free slices, with a front load balancer that
+// picks an invoker per request and per-invoker autoscaling driven by each
+// invoker's own observed arrivals.
 //
 // The bench `ablation_decentralized` compares the two: they should deliver
 // similar quality on balanced clusters, with the decentralized form paying
@@ -17,33 +17,18 @@
 // node's overflow.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "metrics/recorder.h"
 #include "platform/platform.h"
+#include "platform/policy.h"
 
 namespace fluidfaas::core {
 
-class DistributedFluidFaas : public platform::Platform {
+/// Per-invoker scheduler state shared by DistRouting and DistScaling.
+class DistState {
  public:
-  DistributedFluidFaas(sim::Simulator& sim, gpu::Cluster& cluster,
-                       metrics::Recorder& recorder,
-                       std::vector<platform::FunctionSpec> functions,
-                       platform::PlatformConfig config);
-
-  std::string name() const override { return "FluidFaaS-dist"; }
-
-  int num_invokers() const { return static_cast<int>(invokers_.size()); }
-  std::size_t pipelines_launched() const { return pipelines_launched_; }
-  std::size_t evictions() const { return evictions_; }
-  /// Requests the load balancer sent to each invoker.
-  std::vector<std::size_t> RoutedPerInvoker() const;
-
- protected:
-  bool Route(RequestId rid, FunctionId fn) override;
-  void AutoscaleTick() override;
-  void OnCompleted(RequestId rid, FunctionId fn) override;
-
- private:
   struct FnState {
     std::vector<platform::Instance*> eh;
     platform::Instance* ts = nullptr;
@@ -58,24 +43,87 @@ class DistributedFluidFaas : public platform::Platform {
     std::size_t routed = 0;
   };
 
-  Invoker& invoker(int idx) { return invokers_[static_cast<std::size_t>(idx)]; }
+  void EnsureSized(const platform::PlatformCore& core);
+
+  Invoker& invoker(int idx) {
+    return invokers[static_cast<std::size_t>(idx)];
+  }
   FnState& state(Invoker& inv, FunctionId fn);
 
   /// The FFS load balancer: pick the invoker for a request — the one whose
   /// instances of `fn` promise the earliest completion, else the one with
   /// the most free capacity.
-  int ChooseInvoker(FunctionId fn, SimTime now);
+  int ChooseInvoker(platform::PlatformCore& core, FunctionId fn, SimTime now);
 
   /// Local (per-invoker) versions of the centralized scheduler's moves.
-  platform::Instance* LaunchExclusiveOn(Invoker& inv,
+  platform::Instance* LaunchExclusiveOn(platform::PlatformCore& core,
+                                        Invoker& inv,
                                         const platform::FunctionSpec& spec);
-  platform::Instance* EnsureTsResidentOn(Invoker& inv, FunctionId fn);
-  bool RouteOn(Invoker& inv, RequestId rid, FunctionId fn);
+  platform::Instance* EnsureTsResidentOn(platform::PlatformCore& core,
+                                         Invoker& inv, FunctionId fn);
+  bool RouteOn(platform::PlatformCore& core, Invoker& inv, RequestId rid,
+               FunctionId fn);
   void PruneDead(FnState& st);
 
-  std::vector<Invoker> invokers_;
-  std::size_t pipelines_launched_ = 0;
-  std::size_t evictions_ = 0;
+  platform::SchedulerCounters counters() const;
+
+  std::vector<Invoker> invokers;
+  std::size_t pipelines_launched = 0;
+  std::size_t evictions = 0;
+};
+
+class DistRouting final : public platform::RoutingPolicy {
+ public:
+  explicit DistRouting(std::shared_ptr<DistState> st) : st_(std::move(st)) {}
+  void Attach(platform::PlatformCore& core) override;
+  bool Route(platform::PlatformCore& core, RequestId rid,
+             FunctionId fn) override;
+
+ private:
+  std::shared_ptr<DistState> st_;
+};
+
+class DistScaling final : public platform::ScalingPolicy {
+ public:
+  explicit DistScaling(std::shared_ptr<DistState> st) : st_(std::move(st)) {}
+  void Attach(platform::PlatformCore& core) override;
+  void Tick(platform::PlatformCore& core) override;
+  void OnCompleted(platform::PlatformCore& core, RequestId rid,
+                   FunctionId fn) override;
+
+ private:
+  std::shared_ptr<DistState> st_;
+};
+
+/// The decentralized FluidFaaS bundle ("FluidFaaS-dist").
+platform::PolicyBundle MakeDistributedBundle(
+    std::shared_ptr<DistState> state = nullptr);
+
+/// Convenience platform pre-wired with the distributed bundle; subscribes
+/// `recorder` to the simulator's bus.
+class DistributedFluidFaas : public platform::PlatformCore {
+ public:
+  DistributedFluidFaas(sim::Simulator& sim, gpu::Cluster& cluster,
+                       metrics::Recorder& recorder,
+                       std::vector<platform::FunctionSpec> functions,
+                       platform::PlatformConfig config);
+
+  int num_invokers() const {
+    return static_cast<int>(state_->invokers.size());
+  }
+  std::size_t pipelines_launched() const { return state_->pipelines_launched; }
+  std::size_t evictions() const { return state_->evictions; }
+  /// Requests the load balancer sent to each invoker.
+  std::vector<std::size_t> RoutedPerInvoker() const;
+
+ private:
+  DistributedFluidFaas(sim::Simulator& sim, gpu::Cluster& cluster,
+                       metrics::Recorder& recorder,
+                       std::vector<platform::FunctionSpec> functions,
+                       platform::PlatformConfig config,
+                       std::shared_ptr<DistState> state);
+
+  std::shared_ptr<DistState> state_;
 };
 
 }  // namespace fluidfaas::core

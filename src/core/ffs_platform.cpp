@@ -1,44 +1,36 @@
 #include "core/ffs_platform.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "core/ffs_distributed.h"
 #include "core/pipeline.h"
+#include "sim/events.h"
 
 namespace fluidfaas::core {
 
 using platform::Instance;
 using platform::InstanceState;
 
-FluidFaasPlatform::FluidFaasPlatform(
-    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
-    std::vector<platform::FunctionSpec> functions,
-    platform::PlatformConfig config)
-    : Platform(sim, cluster, recorder, std::move(functions), config) {
-  fn_state_.resize(this->functions().size());
-}
-
-FluidFaasPlatform::FnState& FluidFaasPlatform::state(FunctionId fn) {
+FfsState::FnState& FfsState::state(FunctionId fn) {
   FFS_CHECK(fn.valid() &&
-            static_cast<std::size_t>(fn.value) < fn_state_.size());
-  return fn_state_[static_cast<std::size_t>(fn.value)];
+            static_cast<std::size_t>(fn.value) < fn_state.size());
+  return fn_state[static_cast<std::size_t>(fn.value)];
 }
 
-int FluidFaasPlatform::NumExclusiveHot(FunctionId fn) const {
-  return static_cast<int>(
-      const_cast<FluidFaasPlatform*>(this)->state(fn).eh.size());
+const FfsState::FnState& FfsState::state(FunctionId fn) const {
+  return const_cast<FfsState*>(this)->state(fn);
 }
 
-bool FluidFaasPlatform::HasTimeSharingInstance(FunctionId fn) const {
-  return const_cast<FluidFaasPlatform*>(this)->state(fn).has_ts;
+void FfsState::EnsureSized(const platform::PlatformCore& core) {
+  if (fn_state.size() < core.functions().size()) {
+    fn_state.resize(core.functions().size());
+  }
 }
 
-bool FluidFaasPlatform::TimeSharingResident(FunctionId fn) const {
-  return const_cast<FluidFaasPlatform*>(this)->state(fn).ts != nullptr;
-}
-
-void FluidFaasPlatform::PruneDead(FnState& st) {
+void FfsState::PruneDead(FnState& st) {
   std::erase_if(st.eh, [](Instance* i) {
     return i->state() == InstanceState::kRetired ||
            i->state() == InstanceState::kDraining;
@@ -48,7 +40,7 @@ void FluidFaasPlatform::PruneDead(FnState& st) {
   }
 }
 
-double FluidFaasPlatform::EhCapacity(const FnState& st) const {
+double FfsState::EhCapacity(const FnState& st) const {
   double c = 0.0;
   for (Instance* inst : st.eh) {
     if (inst->CanAdmit()) c += inst->CapacityRps();
@@ -56,12 +48,23 @@ double FluidFaasPlatform::EhCapacity(const FnState& st) const {
   return c;
 }
 
-platform::Instance* FluidFaasPlatform::EnsureTsResident(FunctionId fn) {
+platform::SchedulerCounters FfsState::counters() const {
+  platform::SchedulerCounters c;
+  c.evictions = evictions;
+  c.promotions = promotions;
+  c.demotions = demotions;
+  c.migrations = migrations;
+  c.pipelines_launched = pipelines_launched;
+  return c;
+}
+
+platform::Instance* FfsState::EnsureTsResident(platform::PlatformCore& core,
+                                               FunctionId fn) {
   FnState& st = state(fn);
   FFS_CHECK(st.ts == nullptr);
-  const platform::FunctionSpec& spec = function(fn);
+  const platform::FunctionSpec& spec = core.function(fn);
 
-  auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+  auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
   SimDuration evict_cost = 0;
 
   if (!sid) {
@@ -69,12 +72,12 @@ platform::Instance* FluidFaasPlatform::EnsureTsResident(FunctionId fn) {
     // another function whose slice is large enough (§5.3).
     FunctionId victim_fn;
     SimTime oldest = kTimeInfinity;
-    for (std::size_t i = 0; i < fn_state_.size(); ++i) {
-      FnState& other = fn_state_[i];
+    for (std::size_t i = 0; i < fn_state.size(); ++i) {
+      FnState& other = fn_state[i];
       if (other.ts == nullptr || !other.ts->Idle()) continue;
       if (FunctionId(static_cast<std::int32_t>(i)) == fn) continue;
       const core::StageBinding& b = other.ts->plan().stages.front();
-      if (cluster().slice(b.slice).memory() < spec.total_memory) continue;
+      if (core.cluster().slice(b.slice).memory() < spec.total_memory) continue;
       if (other.ts->last_used() < oldest) {
         oldest = other.ts->last_used();
         victim_fn = FunctionId(static_cast<std::int32_t>(i));
@@ -84,50 +87,72 @@ platform::Instance* FluidFaasPlatform::EnsureTsResident(FunctionId fn) {
 
     FnState& vic = state(victim_fn);
     const SliceId freed = vic.ts->plan().stages.front().slice;
-    evict_cost = config().load.Evict(vic.ts->plan().TotalWeights());
-    RetireInstance(vic.ts);  // idle by construction; frees the slice
-    vic.ts = nullptr;        // entry stays warm (TouchWarm in retire)
-    ++evictions_;
+    const InstanceId victim_iid = vic.ts->id();
+    evict_cost = core.config().load.Evict(vic.ts->plan().TotalWeights());
+    core.RetireInstance(vic.ts);  // idle by construction; frees the slice
+    vic.ts = nullptr;             // entry stays warm (TouchWarm in retire)
+    ++evictions;
+    core.bus().Publish(sim::SchedulerTransition{sim::TransitionKind::kEviction,
+                                                victim_fn, victim_iid,
+                                                core.simulator().Now()});
     FFS_LOG_DEBUG("ffs") << "evicted TS instance of fn " << victim_fn.value
                          << " from slice " << freed.value << " for fn "
                          << fn.value;
     sid = freed;
   }
 
-  auto plan = MonolithicPlanOnSlice(function(fn).dag, cluster(), *sid);
+  auto plan = MonolithicPlanOnSlice(core.function(fn).dag, core.cluster(),
+                                    *sid);
   if (!plan) return nullptr;  // cannot happen given the memory checks
-  Instance* inst = LaunchInstance(spec, std::move(*plan), IsWarm(fn),
-                                  evict_cost);
+  Instance* inst = core.LaunchInstance(spec, std::move(*plan),
+                                       core.IsWarm(fn), evict_cost);
   st.ts = inst;
   st.has_ts = true;
-  st.ts_last_used = simulator().Now();
+  st.ts_last_used = core.simulator().Now();
   return inst;
 }
 
-platform::Instance* FluidFaasPlatform::LaunchExclusive(
-    const platform::FunctionSpec& spec) {
+platform::Instance* FfsState::LaunchExclusive(
+    platform::PlatformCore& core, const platform::FunctionSpec& spec) {
   std::optional<PipelinePlan> plan;
-  if (config().enable_pipelines) {
-    plan = PlanFirstFeasible(spec.dag, spec.ranked_pipelines, cluster(),
-                             config().transfer);
+  if (core.config().enable_pipelines) {
+    plan = PlanFirstFeasible(spec.dag, spec.ranked_pipelines, core.cluster(),
+                             core.config().transfer);
   } else {
     // Ablation: monolithic-only placement.
-    auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
-    if (sid) plan = MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+    auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+    if (sid) plan = MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
   }
   if (!plan) return nullptr;
-  if (plan->num_stages() > 1) ++pipelines_launched_;
-  Instance* inst = LaunchInstance(spec, std::move(*plan), IsWarm(spec.id));
+  if (plan->num_stages() > 1) ++pipelines_launched;
+  Instance* inst =
+      core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
   state(spec.id).eh.push_back(inst);
   return inst;
 }
 
-bool FluidFaasPlatform::Route(RequestId rid, FunctionId fn) {
-  FnState& st = state(fn);
-  PruneDead(st);
-  const platform::FunctionSpec& spec = function(fn);
-  const SimTime now = simulator().Now();
-  const SimTime deadline = recorder().record(rid).deadline;
+void FfsState::RetireDrainedIdle(platform::PlatformCore& core) {
+  for (FunctionId fn(0); static_cast<std::size_t>(fn.value) < fn_state.size();
+       fn = FunctionId(fn.value + 1)) {
+    for (Instance* inst : core.InstancesOf(fn)) {
+      if (inst->state() == InstanceState::kDraining && inst->Idle()) {
+        core.RetireInstance(inst);
+      }
+    }
+  }
+}
+
+void FfsRouting::Attach(platform::PlatformCore& core) {
+  st_->EnsureSized(core);
+}
+
+bool FfsRouting::Route(platform::PlatformCore& core, RequestId rid,
+                       FunctionId fn) {
+  FfsState::FnState& st = st_->state(fn);
+  st_->PruneDead(st);
+  const platform::FunctionSpec& spec = core.function(fn);
+  const SimTime now = core.simulator().Now();
+  const SimTime deadline = core.DeadlineOf(rid);
 
   // 1. Exclusive-hot instances, lowest service latency first, while their
   //    backlog still meets the deadline (§5.3 request routing).
@@ -142,7 +167,7 @@ bool FluidFaasPlatform::Route(RequestId rid, FunctionId fn) {
   });
   for (Instance* inst : hot) {
     if (inst->EstimateCompletion(now) <= deadline) {
-      inst->Enqueue(rid, JitterOf(rid));
+      inst->Enqueue(rid, core.JitterOf(rid));
       st.ts_last_used = now;
       return true;
     }
@@ -150,17 +175,17 @@ bool FluidFaasPlatform::Route(RequestId rid, FunctionId fn) {
 
   // 2. The time-sharing instance (§5.3: "the remaining requests are routed
   //    to the time sharing state instance").
-  if (config().enable_time_sharing) {
+  if (core.config().enable_time_sharing) {
     if (st.ts != nullptr && st.ts->CanAdmit()) {
       if (st.ts->EstimateCompletion(now) <= deadline || hot.empty()) {
-        st.ts->Enqueue(rid, JitterOf(rid));
+        st.ts->Enqueue(rid, core.JitterOf(rid));
         st.ts_last_used = now;
         return true;
       }
     } else if (st.ts == nullptr) {
-      Instance* inst = EnsureTsResident(fn);
+      Instance* inst = st_->EnsureTsResident(core, fn);
       if (inst != nullptr) {
-        inst->Enqueue(rid, JitterOf(rid));
+        inst->Enqueue(rid, core.JitterOf(rid));
         st.ts_last_used = now;
         return true;
       }
@@ -168,9 +193,9 @@ bool FluidFaasPlatform::Route(RequestId rid, FunctionId fn) {
   } else if (hot.empty()) {
     // Ablation path without time sharing: first request must still create
     // an instance; use an exclusive one.
-    Instance* inst = LaunchExclusive(spec);
+    Instance* inst = st_->LaunchExclusive(core, spec);
     if (inst != nullptr) {
-      inst->Enqueue(rid, JitterOf(rid));
+      inst->Enqueue(rid, core.JitterOf(rid));
       return true;
     }
   }
@@ -194,61 +219,59 @@ bool FluidFaasPlatform::Route(RequestId rid, FunctionId fn) {
   // Bound per-instance backlog (see Instance::AdmitWithinBound) so overload
   // stays in the EDF-ordered pending set instead of FIFO queues.
   if (best != nullptr && best->AdmitWithinBound(now, deadline, spec.slo)) {
-    best->Enqueue(rid, JitterOf(rid));
+    best->Enqueue(rid, core.JitterOf(rid));
     st.ts_last_used = now;
     return true;
   }
   return false;
 }
 
-void FluidFaasPlatform::RetireDrainedIdle() {
-  for (FunctionId fn(0); static_cast<std::size_t>(fn.value) < fn_state_.size();
-       fn = FunctionId(fn.value + 1)) {
-    for (Instance* inst : InstancesOf(fn)) {
-      if (inst->state() == InstanceState::kDraining && inst->Idle()) {
-        RetireInstance(inst);
-      }
-    }
-  }
+void FfsScaling::Attach(platform::PlatformCore& core) {
+  st_->EnsureSized(core);
 }
 
-void FluidFaasPlatform::OnCompleted(RequestId, FunctionId fn) {
-  FnState& st = state(fn);
-  st.ts_last_used = simulator().Now();
-  RetireDrainedIdle();
+void FfsScaling::OnCompleted(platform::PlatformCore& core, RequestId,
+                             FunctionId fn) {
+  FfsState::FnState& st = st_->state(fn);
+  st.ts_last_used = core.simulator().Now();
+  st_->RetireDrainedIdle(core);
 }
 
-void FluidFaasPlatform::AutoscaleTick() {
-  const SimTime now = simulator().Now();
-  RetireDrainedIdle();
+void FfsScaling::Tick(platform::PlatformCore& core) {
+  const SimTime now = core.simulator().Now();
+  st_->RetireDrainedIdle(core);
 
-  for (std::size_t i = 0; i < fn_state_.size(); ++i) {
+  for (std::size_t i = 0; i < st_->fn_state.size(); ++i) {
     const FunctionId fn(static_cast<std::int32_t>(i));
-    FnState& st = state(fn);
-    PruneDead(st);
-    const platform::FunctionSpec& spec = function(fn);
-    const double rate = ArrivalRate(fn);
+    FfsState::FnState& st = st_->state(fn);
+    st_->PruneDead(st);
+    const platform::FunctionSpec& spec = core.function(fn);
+    const double rate = core.ArrivalRate(fn);
 
     // --- promotion: time-sharing -> exclusive-hot (Fig. 8 ②) -------------
     // The resident instance changes *state*, not placement: it already has
     // the slice to itself, promotion just makes it non-evictable.
     if (st.ts != nullptr) {
-      const double util = UtilizationOf(st.ts);
-      if (util > config().hot_threshold) {
+      const double util = core.UtilizationOf(st.ts);
+      if (util > core.config().hot_threshold) {
+        const InstanceId iid = st.ts->id();
         st.eh.push_back(st.ts);
         st.ts = nullptr;
         st.has_ts = false;
-        ++promotions_;
+        ++st_->promotions;
+        core.bus().Publish(sim::SchedulerTransition{
+            sim::TransitionKind::kPromotion, fn, iid, now});
         FFS_LOG_DEBUG("ffs") << "promoted fn " << fn.value
                              << " to exclusive-hot (util " << util << ")";
       }
     }
 
     // --- scale-up: add exclusive capacity while overloaded ---------------
-    double capacity = EhCapacity(st);
+    double capacity = st_->EhCapacity(st);
     int guard = 0;
-    while (rate > config().scaleup_load_factor * capacity && guard++ < 8) {
-      Instance* eh = LaunchExclusive(spec);
+    while (rate > core.config().scaleup_load_factor * capacity &&
+           guard++ < 8) {
+      Instance* eh = st_->LaunchExclusive(core, spec);
       if (eh == nullptr) break;
       capacity += eh->CapacityRps();
     }
@@ -257,10 +280,11 @@ void FluidFaasPlatform::AutoscaleTick() {
     // Consider only Ready+idle instances that have been quiet for a window.
     for (Instance* inst : std::vector<Instance*>(st.eh)) {
       if (inst->state() != InstanceState::kReady || !inst->Idle()) continue;
-      if (now - inst->last_used() < config().util_window) continue;
-      const double util = UtilizationOf(inst);
-      if (util >= config().hot_threshold) continue;
-      if (config().enable_time_sharing && !st.has_ts && st.eh.size() == 1) {
+      if (now - inst->last_used() < core.config().util_window) continue;
+      const double util = core.UtilizationOf(inst);
+      if (util >= core.config().hot_threshold) continue;
+      if (core.config().enable_time_sharing && !st.has_ts &&
+          st.eh.size() == 1) {
         // Demote the last exclusive instance into the time-sharing state:
         // it keeps serving from its slice but becomes evictable. Pipelined
         // instances cannot be time-shared; retire them to warm instead.
@@ -270,54 +294,64 @@ void FluidFaasPlatform::AutoscaleTick() {
           st.has_ts = true;
           st.ts_last_used = inst->last_used();
         } else {
-          RetireInstance(inst);
+          core.RetireInstance(inst);
           st.has_ts = true;  // warm entry, resident on next request
           st.ts = nullptr;
           st.ts_last_used = inst->last_used();
         }
-        ++demotions_;
+        ++st_->demotions;
+        core.bus().Publish(sim::SchedulerTransition{
+            sim::TransitionKind::kDemotion, fn, inst->id(), now});
       } else if (st.eh.size() > 1 ||
-                 (config().enable_time_sharing && st.has_ts)) {
+                 (core.config().enable_time_sharing && st.has_ts)) {
         // Surplus exclusive capacity: the remaining instances (or the
         // time-sharing entry) cover the residual load; release the slices.
         std::erase(st.eh, inst);
-        RetireInstance(inst);
-      } else if (!config().enable_time_sharing &&
-                 now - inst->last_used() >= config().exclusive_keepalive) {
+        core.RetireInstance(inst);
+      } else if (!core.config().enable_time_sharing &&
+                 now - inst->last_used() >= core.config().exclusive_keepalive) {
         std::erase(st.eh, inst);
-        RetireInstance(inst);
+        core.RetireInstance(inst);
       }
     }
 
     // --- time-sharing -> cold (Fig. 8 ⑤) ---------------------------------
-    if (st.has_ts && now - st.ts_last_used > config().warm_timeout) {
+    if (st.has_ts && now - st.ts_last_used > core.config().warm_timeout) {
       if (st.ts != nullptr && st.ts->Idle()) {
-        RetireInstance(st.ts);
+        core.RetireInstance(st.ts);
         st.ts = nullptr;
       }
-      if (st.ts == nullptr) st.has_ts = false;
+      if (st.ts == nullptr) {
+        st.has_ts = false;
+        core.bus().Publish(sim::SchedulerTransition{
+            sim::TransitionKind::kColdDrop, fn, InstanceId(), now});
+      }
     }
 
     // --- pipeline migration (§5.3) ---------------------------------------
     // Cooldown one utilization window per function so a drained pipeline's
     // freed slices are not immediately rebuilt into a new pipeline and
     // migrated again.
-    if (config().enable_migration &&
-        now - st.last_migration >= config().util_window) {
+    if (core.config().enable_migration &&
+        now - st.last_migration >= core.config().util_window) {
       for (Instance* inst : std::vector<Instance*>(st.eh)) {
         if (!inst->IsPipelined() ||
             inst->state() != InstanceState::kReady) {
           continue;
         }
-        auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+        auto sid =
+            core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
         if (!sid) break;
-        auto plan = MonolithicPlanOnSlice(spec.dag, cluster(), *sid);
+        auto plan = MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
         if (!plan) break;
-        Instance* mono = LaunchInstance(spec, std::move(*plan), IsWarm(fn));
+        Instance* mono =
+            core.LaunchInstance(spec, std::move(*plan), core.IsWarm(fn));
         st.eh.push_back(mono);
         std::erase(st.eh, inst);
-        DrainOrRetire(inst);
-        ++migrations_;
+        core.DrainOrRetire(inst);
+        ++st_->migrations;
+        core.bus().Publish(sim::SchedulerTransition{
+            sim::TransitionKind::kMigration, fn, inst->id(), now});
         st.last_migration = now;
         FFS_LOG_DEBUG("ffs") << "migrated fn " << fn.value
                              << " pipeline -> slice " << sid->value;
@@ -325,6 +359,52 @@ void FluidFaasPlatform::AutoscaleTick() {
       }
     }
   }
+}
+
+platform::PolicyBundle MakeFluidFaasBundle(std::shared_ptr<FfsState> state) {
+  if (!state) state = std::make_shared<FfsState>();
+  platform::PolicyBundle bundle;
+  bundle.name = "FluidFaaS";
+  bundle.routing = std::make_unique<FfsRouting>(state);
+  bundle.scaling = std::make_unique<FfsScaling>(state);
+  bundle.counters = [state] { return state->counters(); };
+  return bundle;
+}
+
+void RegisterFluidFaasSchedulers() {
+  platform::RegisterScheduler("FluidFaaS",
+                              [] { return MakeFluidFaasBundle(); });
+  platform::RegisterScheduler("FluidFaaS-dist",
+                              [] { return MakeDistributedBundle(); });
+}
+
+FluidFaasPlatform::FluidFaasPlatform(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config)
+    : FluidFaasPlatform(sim, cluster, recorder, std::move(functions), config,
+                        std::make_shared<FfsState>()) {}
+
+FluidFaasPlatform::FluidFaasPlatform(
+    sim::Simulator& sim, gpu::Cluster& cluster, metrics::Recorder& recorder,
+    std::vector<platform::FunctionSpec> functions,
+    platform::PlatformConfig config, std::shared_ptr<FfsState> state)
+    : PlatformCore(sim, cluster, std::move(functions), config,
+                   MakeFluidFaasBundle(state)),
+      state_(std::move(state)) {
+  recorder.SubscribeTo(sim.bus());
+}
+
+int FluidFaasPlatform::NumExclusiveHot(FunctionId fn) const {
+  return static_cast<int>(state_->state(fn).eh.size());
+}
+
+bool FluidFaasPlatform::HasTimeSharingInstance(FunctionId fn) const {
+  return state_->state(fn).has_ts;
+}
+
+bool FluidFaasPlatform::TimeSharingResident(FunctionId fn) const {
+  return state_->state(fn).ts != nullptr;
 }
 
 }  // namespace fluidfaas::core

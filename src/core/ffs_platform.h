@@ -1,5 +1,6 @@
-// The FluidFaaS platform: dynamic pipeline construction on fragmented MIG
-// slices (§5.2) plus hotness-aware eviction-based time sharing (§5.3).
+// The FluidFaaS scheduler: dynamic pipeline construction on fragmented MIG
+// slices (§5.2) plus hotness-aware eviction-based time sharing (§5.3),
+// expressed as a routing + scaling policy pair over platform::PlatformCore.
 //
 // Instance states follow Fig. 8:
 //   * The first request for a function creates a TIME-SHARING instance (①).
@@ -19,41 +20,28 @@
 // ordered by adjusted deadline; exclusive-hot instances are tried lowest
 // latency first up to capacity, then the time-sharing instance, then the
 // least-loaded fallback.
+//
+// The two policies share one FfsState (Fig. 8 bookkeeping + counters); each
+// Fig. 8 transition is also published as sim::SchedulerTransition on the
+// core's EventBus. FluidFaaS needs no keep-alive policy — instance lifetime
+// is entirely governed by the state machine above.
 #pragma once
 
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "metrics/recorder.h"
 #include "platform/platform.h"
+#include "platform/policy.h"
+#include "platform/registry.h"
 
 namespace fluidfaas::core {
 
-class FluidFaasPlatform : public platform::Platform {
+/// Fig. 8 bookkeeping shared by FfsRouting and FfsScaling, plus the
+/// mechanism helpers both need (TS residency, exclusive launches).
+class FfsState {
  public:
-  FluidFaasPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
-                    metrics::Recorder& recorder,
-                    std::vector<platform::FunctionSpec> functions,
-                    platform::PlatformConfig config);
-
-  std::string name() const override { return "FluidFaaS"; }
-
-  /// Introspection for tests.
-  int NumExclusiveHot(FunctionId fn) const;
-  bool HasTimeSharingInstance(FunctionId fn) const;
-  bool TimeSharingResident(FunctionId fn) const;
-  std::size_t evictions() const { return evictions_; }
-  std::size_t promotions() const { return promotions_; }
-  std::size_t demotions() const { return demotions_; }
-  std::size_t migrations() const { return migrations_; }
-  std::size_t pipelines_launched() const { return pipelines_launched_; }
-
- protected:
-  bool Route(RequestId rid, FunctionId fn) override;
-  void AutoscaleTick() override;
-  void OnCompleted(RequestId rid, FunctionId fn) override;
-
- private:
   struct FnState {
     std::vector<platform::Instance*> eh;  // exclusive-hot instances
     bool has_ts = false;                  // a time-sharing entry exists
@@ -63,27 +51,95 @@ class FluidFaasPlatform : public platform::Platform {
   };
 
   FnState& state(FunctionId fn);
+  const FnState& state(FunctionId fn) const;
+  void EnsureSized(const platform::PlatformCore& core);
 
   /// Make fn's time-sharing instance resident: free slice if available,
   /// otherwise evict the LRU idle resident TS instance whose slice fits.
   /// Returns the (loading) instance or nullptr.
-  platform::Instance* EnsureTsResident(FunctionId fn);
+  platform::Instance* EnsureTsResident(platform::PlatformCore& core,
+                                       FunctionId fn);
 
   /// Launch a new exclusive-hot instance via the ranked pipeline planner.
-  platform::Instance* LaunchExclusive(const platform::FunctionSpec& spec);
+  platform::Instance* LaunchExclusive(platform::PlatformCore& core,
+                                      const platform::FunctionSpec& spec);
 
   void PruneDead(FnState& st);
-  void RetireDrainedIdle();
+  void RetireDrainedIdle(platform::PlatformCore& core);
 
   double EhCapacity(const FnState& st) const;
 
-  std::vector<FnState> fn_state_;
+  platform::SchedulerCounters counters() const;
 
-  std::size_t evictions_ = 0;
-  std::size_t promotions_ = 0;
-  std::size_t demotions_ = 0;
-  std::size_t migrations_ = 0;
-  std::size_t pipelines_launched_ = 0;
+  std::vector<FnState> fn_state;
+
+  std::size_t evictions = 0;
+  std::size_t promotions = 0;
+  std::size_t demotions = 0;
+  std::size_t migrations = 0;
+  std::size_t pipelines_launched = 0;
+};
+
+class FfsRouting final : public platform::RoutingPolicy {
+ public:
+  explicit FfsRouting(std::shared_ptr<FfsState> st) : st_(std::move(st)) {}
+  void Attach(platform::PlatformCore& core) override;
+  bool Route(platform::PlatformCore& core, RequestId rid,
+             FunctionId fn) override;
+
+ private:
+  std::shared_ptr<FfsState> st_;
+};
+
+class FfsScaling final : public platform::ScalingPolicy {
+ public:
+  explicit FfsScaling(std::shared_ptr<FfsState> st) : st_(std::move(st)) {}
+  void Attach(platform::PlatformCore& core) override;
+  void Tick(platform::PlatformCore& core) override;
+  void OnCompleted(platform::PlatformCore& core, RequestId rid,
+                   FunctionId fn) override;
+
+ private:
+  std::shared_ptr<FfsState> st_;
+};
+
+/// The FluidFaaS policy bundle. Pass a state to share it with the caller
+/// (introspection); defaults to a fresh one.
+platform::PolicyBundle MakeFluidFaasBundle(
+    std::shared_ptr<FfsState> state = nullptr);
+
+/// Register the FluidFaaS schedulers ("FluidFaaS", "FluidFaaS-dist") in the
+/// platform::registry factory. Idempotent.
+void RegisterFluidFaasSchedulers();
+
+/// Convenience platform: a PlatformCore pre-wired with the FluidFaaS bundle
+/// and the recorder subscribed to the simulator's bus, plus introspection
+/// over the shared FfsState for tests and benches.
+class FluidFaasPlatform : public platform::PlatformCore {
+ public:
+  FluidFaasPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                    metrics::Recorder& recorder,
+                    std::vector<platform::FunctionSpec> functions,
+                    platform::PlatformConfig config);
+
+  /// Introspection for tests.
+  int NumExclusiveHot(FunctionId fn) const;
+  bool HasTimeSharingInstance(FunctionId fn) const;
+  bool TimeSharingResident(FunctionId fn) const;
+  std::size_t evictions() const { return state_->evictions; }
+  std::size_t promotions() const { return state_->promotions; }
+  std::size_t demotions() const { return state_->demotions; }
+  std::size_t migrations() const { return state_->migrations; }
+  std::size_t pipelines_launched() const { return state_->pipelines_launched; }
+
+ private:
+  FluidFaasPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
+                    metrics::Recorder& recorder,
+                    std::vector<platform::FunctionSpec> functions,
+                    platform::PlatformConfig config,
+                    std::shared_ptr<FfsState> state);
+
+  std::shared_ptr<FfsState> state_;
 };
 
 }  // namespace fluidfaas::core

@@ -1,15 +1,33 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "baselines/esg_platform.h"
-#include "baselines/repartition_platform.h"
 #include "common/error.h"
-#include "core/ffs_distributed.h"
 #include "core/ffs_platform.h"
+#include "metrics/trace_exporter.h"
+#include "platform/platform.h"
+#include "platform/registry.h"
 #include "sim/simulator.h"
 
 namespace fluidfaas::harness {
+
+namespace {
+
+/// Make sure the built-in scheduler bundles are in the platform registry.
+/// Explicit (rather than static initializers in the scheduler TUs) so that
+/// static-library linking cannot silently drop a registration.
+void EnsureSchedulersRegistered() {
+  static const bool done = [] {
+    core::RegisterFluidFaasSchedulers();
+    baselines::RegisterBaselineSchedulers();
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
 
 const char* Name(SystemKind kind) {
   switch (kind) {
@@ -61,31 +79,25 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
 
   // --- platform ------------------------------------------------------------
+  EnsureSchedulersRegistered();
   sim::Simulator sim;
   auto recorder = std::make_unique<metrics::Recorder>(cluster);
-  std::unique_ptr<platform::Platform> plat;
-  switch (config.system) {
-    case SystemKind::kFluidFaas:
-      plat = std::make_unique<core::FluidFaasPlatform>(
-          sim, cluster, *recorder, workload.functions, config.platform);
-      break;
-    case SystemKind::kEsg:
-      plat = std::make_unique<baselines::EsgPlatform>(
-          sim, cluster, *recorder, workload.functions, config.platform);
-      break;
-    case SystemKind::kInfless:
-      plat = std::make_unique<baselines::InflessPlatform>(
-          sim, cluster, *recorder, workload.functions, config.platform);
-      break;
-    case SystemKind::kRepartition:
-      plat = std::make_unique<baselines::RepartitionPlatform>(
-          sim, cluster, *recorder, workload.functions, config.platform);
-      break;
-    case SystemKind::kFluidFaasDistributed:
-      plat = std::make_unique<core::DistributedFluidFaas>(
-          sim, cluster, *recorder, workload.functions, config.platform);
-      break;
+  // The recorder is the first bus subscriber, so its view of every event
+  // precedes any observer attached afterwards.
+  recorder->SubscribeTo(sim.bus());
+  std::unique_ptr<metrics::TraceExporter> exporter;
+  if (!config.trace_out.empty()) {
+    exporter = std::make_unique<metrics::TraceExporter>();
+    std::vector<std::string> names;
+    for (const platform::FunctionSpec& f : workload.functions) {
+      names.push_back(f.name);
+    }
+    exporter->SetFunctionNames(std::move(names));
+    exporter->SubscribeTo(sim.bus());
   }
+  auto plat = std::make_unique<platform::PlatformCore>(
+      sim, cluster, workload.functions, config.platform,
+      platform::MakeSchedulerBundle(Name(config.system)));
 
   // --- replay --------------------------------------------------------------
   plat->Start();
@@ -125,24 +137,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   res.throughput_rps = recorder->WindowedThroughput(config.duration);
   res.mig_time = recorder->MigTime();
   res.gpu_time = recorder->GpuTime();
-  if (auto* ffs_plat =
-          dynamic_cast<core::FluidFaasPlatform*>(plat.get())) {
-    res.evictions = ffs_plat->evictions();
-    res.promotions = ffs_plat->promotions();
-    res.demotions = ffs_plat->demotions();
-    res.migrations = ffs_plat->migrations();
-    res.pipelines_launched = ffs_plat->pipelines_launched();
-  }
-  if (auto* dist = dynamic_cast<core::DistributedFluidFaas*>(plat.get())) {
-    res.evictions = dist->evictions();
-    res.pipelines_launched = dist->pipelines_launched();
-  }
-  if (auto* rep =
-          dynamic_cast<baselines::RepartitionPlatform*>(plat.get())) {
-    res.reconfigurations = rep->reconfigurations();
-    res.reconfiguration_blackout = rep->reconfiguration_blackout();
-  }
+  const platform::SchedulerCounters sc = plat->scheduler_counters();
+  res.evictions = sc.evictions;
+  res.promotions = sc.promotions;
+  res.demotions = sc.demotions;
+  res.migrations = sc.migrations;
+  res.pipelines_launched = sc.pipelines_launched;
+  res.reconfigurations = sc.reconfigurations;
+  res.reconfiguration_blackout = sc.reconfiguration_blackout;
   res.recorder = std::move(recorder);
+  if (exporter) exporter->WriteFile(config.trace_out);
   return res;
 }
 

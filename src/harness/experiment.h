@@ -1,6 +1,7 @@
 // Experiment harness: one call builds a cluster, a workload, and a platform
-// (FluidFaaS / ESG / INFless), replays the trace, lets in-flight work drain,
-// and returns the metrics bundle the bench binaries print.
+// (a platform::PlatformCore carrying the scheduler bundle that SystemKind
+// resolves to via the platform registry), replays the trace, lets in-flight
+// work drain, and returns the metrics bundle the bench binaries print.
 //
 // Trace generation is seeded independently of the system under test, so the
 // three platforms in one comparison see byte-identical arrivals.
@@ -53,6 +54,11 @@ struct ExperimentConfig {
   /// must be < the tier's function count; invocations past `duration` are
   /// dropped.
   trace::Trace custom_trace;
+
+  /// When non-empty, attach a metrics::TraceExporter to the run and write a
+  /// Chrome-trace JSON (chrome://tracing, https://ui.perfetto.dev) here.
+  /// Attaching the exporter never changes the simulation.
+  std::string trace_out;
 
   platform::PlatformConfig platform;
 };

@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "sim/event_bus.h"
+#include "sim/events.h"
 
 namespace fluidfaas::metrics {
 
-Recorder::Recorder(const gpu::Cluster& cluster) {
+Recorder::Recorder(const gpu::Cluster& cluster) : cluster_(&cluster) {
   per_gpu_.resize(static_cast<std::size_t>(cluster.num_gpus()));
   slices_.reserve(cluster.num_slices());
   for (SliceId sid : cluster.AllSlices()) {
@@ -18,6 +20,48 @@ Recorder::Recorder(const gpu::Cluster& cluster) {
     per_gpu_[static_cast<std::size_t>(s.gpu.value)].gpcs += s.gpcs();
   }
   total_gpcs_ = cluster.TotalGpcs();
+}
+
+void Recorder::SubscribeTo(sim::EventBus& bus) {
+  if (bus_ == &bus) return;
+  FFS_CHECK_MSG(bus_ == nullptr, "Recorder already subscribed to a bus");
+  bus_ = &bus;
+  bus.Subscribe<sim::RequestSubmitted>([this](const sim::RequestSubmitted& e) {
+    const RequestId rid = NewRequest(e.fn, e.at, e.deadline);
+    FFS_CHECK_MSG(rid == e.rid,
+                  "recorder request ids out of sync with the platform");
+  });
+  bus.Subscribe<sim::RequestPhaseAccrued>(
+      [this](const sim::RequestPhaseAccrued& e) {
+        RequestRecord& r = record(e.rid);
+        switch (e.phase) {
+          case sim::RequestPhase::kQueue:
+            r.queue_time += e.amount;
+            break;
+          case sim::RequestPhase::kLoad:
+            r.load_time += e.amount;
+            break;
+          case sim::RequestPhase::kExec:
+            r.exec_time += e.amount;
+            break;
+          case sim::RequestPhase::kTransfer:
+            r.transfer_time += e.amount;
+            break;
+        }
+      });
+  bus.Subscribe<sim::RequestCompleted>([this](const sim::RequestCompleted& e) {
+    Complete(e.rid, e.at);
+  });
+  bus.Subscribe<sim::SliceBound>(
+      [this](const sim::SliceBound& e) { SliceBound(e.slice, e.at); });
+  bus.Subscribe<sim::SliceReleased>(
+      [this](const sim::SliceReleased& e) { SliceReleased(e.slice, e.at); });
+  bus.Subscribe<sim::SliceBusyBegin>(
+      [this](const sim::SliceBusyBegin& e) { SliceBusy(e.slice, e.at); });
+  bus.Subscribe<sim::SliceBusyEnd>(
+      [this](const sim::SliceBusyEnd& e) { SliceIdle(e.slice, e.at); });
+  bus.Subscribe<sim::PartitionReconfigured>(
+      [this](const sim::PartitionReconfigured&) { SyncSlices(*cluster_); });
 }
 
 RequestId Recorder::NewRequest(FunctionId fn, SimTime arrival,

@@ -23,6 +23,10 @@
 #include "common/types.h"
 #include "gpu/cluster.h"
 
+namespace fluidfaas::sim {
+class EventBus;
+}
+
 namespace fluidfaas::metrics {
 
 struct RequestRecord {
@@ -45,6 +49,14 @@ struct RequestRecord {
 class Recorder {
  public:
   explicit Recorder(const gpu::Cluster& cluster);
+
+  /// Feed the recorder from a simulation's EventBus: request lifecycle and
+  /// phase attribution, slice bound/busy intervals, and partition
+  /// reconfigurations (which trigger SyncSlices) all arrive as sim/events.h
+  /// publications. This is how platform runs drive the recorder — nothing
+  /// in the platform layer holds a Recorder reference. Idempotent for the
+  /// same bus; subscribing one recorder to two buses is an error.
+  void SubscribeTo(sim::EventBus& bus);
 
   // --- request lifecycle -------------------------------------------------
   RequestId NewRequest(FunctionId fn, SimTime arrival, SimTime deadline);
@@ -162,6 +174,9 @@ class Recorder {
 
   std::vector<RequestRecord> records_;
   std::size_t completed_ = 0;
+
+  const gpu::Cluster* cluster_ = nullptr;
+  sim::EventBus* bus_ = nullptr;
 
   std::vector<SliceInfo> slices_;
   std::vector<GpuInfo> per_gpu_;

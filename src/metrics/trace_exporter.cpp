@@ -1,0 +1,214 @@
+#include "metrics/trace_exporter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "common/error.h"
+#include "sim/event_bus.h"
+#include "sim/events.h"
+
+namespace fluidfaas::metrics {
+
+namespace {
+
+constexpr int kPidRequests = 1;
+constexpr int kPidInstances = 2;
+constexpr int kPidSlices = 3;
+constexpr int kPidGpus = 4;
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceExporter::FunctionLabel(FunctionId fn) const {
+  const auto idx = static_cast<std::size_t>(fn.value);
+  if (fn.valid() && idx < function_names_.size()) return function_names_[idx];
+  return "fn" + std::to_string(fn.value);
+}
+
+void TraceExporter::SetFunctionNames(std::vector<std::string> names) {
+  function_names_ = std::move(names);
+}
+
+void TraceExporter::Emit(TraceEvent ev) {
+  last_ts_ = std::max(last_ts_, ev.ts + std::max<SimDuration>(ev.dur, 0));
+  events_.push_back(std::move(ev));
+}
+
+void TraceExporter::SubscribeTo(sim::EventBus& bus) {
+  if (bus_ == &bus) return;
+  FFS_CHECK_MSG(bus_ == nullptr, "TraceExporter already subscribed to a bus");
+  bus_ = &bus;
+
+  bus.Subscribe<sim::RequestSubmitted>([this](const sim::RequestSubmitted& e) {
+    open_requests_[e.rid] = OpenSpan{e.at, ""};
+    request_fn_[e.rid] = e.fn;
+    last_ts_ = std::max(last_ts_, e.at);
+  });
+  bus.Subscribe<sim::RequestCompleted>([this](const sim::RequestCompleted& e) {
+    auto it = open_requests_.find(e.rid);
+    if (it == open_requests_.end()) return;
+    Emit(TraceEvent{FunctionLabel(e.fn), "request", 'X', it->second.since,
+                    e.at - it->second.since, kPidRequests, e.fn.value,
+                    "{\"rid\":" + std::to_string(e.rid.value) + "}"});
+    open_requests_.erase(it);
+    request_fn_.erase(e.rid);
+  });
+
+  bus.Subscribe<sim::InstanceStateChanged>(
+      [this](const sim::InstanceStateChanged& e) {
+        auto it = open_instance_states_.find(e.iid);
+        if (it != open_instance_states_.end()) {
+          Emit(TraceEvent{it->second.name, "instance", 'X', it->second.since,
+                          e.at - it->second.since, kPidInstances, e.iid.value,
+                          "{\"fn\":" + std::to_string(e.fn.value) + "}"});
+        }
+        if (e.to == sim::InstancePhase::kRetired) {
+          open_instance_states_.erase(e.iid);
+        } else {
+          open_instance_states_[e.iid] = OpenSpan{e.at, Name(e.to)};
+        }
+      });
+  bus.Subscribe<sim::SchedulerTransition>(
+      [this](const sim::SchedulerTransition& e) {
+        Emit(TraceEvent{Name(e.kind), "transition", 'i', e.at, 0,
+                        kPidInstances, e.iid.valid() ? e.iid.value : -1,
+                        "{\"fn\":" + std::to_string(e.fn.value) + "}"});
+      });
+
+  bus.Subscribe<sim::SliceBound>([this](const sim::SliceBound& e) {
+    open_bound_[e.slice] =
+        OpenSpan{e.at, "bound i" + std::to_string(e.iid.value)};
+    last_ts_ = std::max(last_ts_, e.at);
+  });
+  bus.Subscribe<sim::SliceReleased>([this](const sim::SliceReleased& e) {
+    auto it = open_bound_.find(e.slice);
+    if (it == open_bound_.end()) return;
+    Emit(TraceEvent{it->second.name, "slice", 'X', it->second.since,
+                    e.at - it->second.since, kPidSlices, e.slice.value, ""});
+    open_bound_.erase(it);
+  });
+  bus.Subscribe<sim::SliceBusyBegin>([this](const sim::SliceBusyBegin& e) {
+    open_busy_[e.slice] = OpenSpan{e.at, "busy"};
+    last_ts_ = std::max(last_ts_, e.at);
+  });
+  bus.Subscribe<sim::SliceBusyEnd>([this](const sim::SliceBusyEnd& e) {
+    auto it = open_busy_.find(e.slice);
+    if (it == open_busy_.end()) return;
+    Emit(TraceEvent{it->second.name, "slice", 'X', it->second.since,
+                    e.at - it->second.since, kPidSlices, e.slice.value, ""});
+    open_busy_.erase(it);
+  });
+
+  bus.Subscribe<sim::PartitionReconfigured>(
+      [this](const sim::PartitionReconfigured& e) {
+        Emit(TraceEvent{"repartition " + e.partition, "gpu", 'X', e.at,
+                        e.blackout, kPidGpus, e.gpu.value, ""});
+      });
+}
+
+void TraceExporter::WriteJson(std::ostream& os) const {
+  auto write_event = [&os](const TraceEvent& ev, bool first) {
+    if (!first) os << ",\n";
+    os << "{\"name\":\"" << EscapeJson(ev.name) << "\",\"cat\":\"" << ev.cat
+       << "\",\"ph\":\"" << ev.ph << "\",\"ts\":" << ev.ts;
+    if (ev.ph == 'X') os << ",\"dur\":" << ev.dur;
+    if (ev.ph == 'i') os << ",\"s\":\"t\"";
+    os << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+    if (!ev.args.empty()) os << ",\"args\":" << ev.args;
+    os << "}";
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  // Metadata: name the processes so the viewer's track groups read well.
+  const std::pair<int, const char*> procs[] = {{kPidRequests, "requests"},
+                                               {kPidInstances, "instances"},
+                                               {kPidSlices, "slices"},
+                                               {kPidGpus, "gpus"}};
+  for (const auto& [pid, label] : procs) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << label << "\"}}";
+  }
+  for (const TraceEvent& ev : events_) {
+    write_event(ev, first);
+    first = false;
+  }
+  // Close spans still open at export time at the last observed timestamp,
+  // so a truncated run still renders every live entity.
+  for (const auto& [rid, span] : open_requests_) {
+    auto fn_it = request_fn_.find(rid);
+    const FunctionId fn =
+        fn_it == request_fn_.end() ? FunctionId() : fn_it->second;
+    write_event(TraceEvent{FunctionLabel(fn), "request", 'X', span.since,
+                           std::max<SimDuration>(0, last_ts_ - span.since),
+                           kPidRequests, fn.value,
+                           "{\"rid\":" + std::to_string(rid.value) +
+                               ",\"open\":true}"},
+                first);
+    first = false;
+  }
+  for (const auto& [iid, span] : open_instance_states_) {
+    write_event(TraceEvent{span.name, "instance", 'X', span.since,
+                           std::max<SimDuration>(0, last_ts_ - span.since),
+                           kPidInstances, iid.value, ""},
+                first);
+    first = false;
+  }
+  for (const auto& [sid, span] : open_bound_) {
+    write_event(TraceEvent{span.name, "slice", 'X', span.since,
+                           std::max<SimDuration>(0, last_ts_ - span.since),
+                           kPidSlices, sid.value, ""},
+                first);
+    first = false;
+  }
+  for (const auto& [sid, span] : open_busy_) {
+    write_event(TraceEvent{span.name, "slice", 'X', span.since,
+                           std::max<SimDuration>(0, last_ts_ - span.since),
+                           kPidSlices, sid.value, ""},
+                first);
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+void TraceExporter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw FfsError("cannot open trace output file: " + path);
+  WriteJson(out);
+}
+
+}  // namespace fluidfaas::metrics

@@ -5,8 +5,27 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "sim/events.h"
 
 namespace fluidfaas::platform {
+
+namespace {
+
+sim::InstancePhase Phase(InstanceState s) {
+  switch (s) {
+    case InstanceState::kLoading:
+      return sim::InstancePhase::kLoading;
+    case InstanceState::kReady:
+      return sim::InstancePhase::kReady;
+    case InstanceState::kDraining:
+      return sim::InstancePhase::kDraining;
+    case InstanceState::kRetired:
+      return sim::InstancePhase::kRetired;
+  }
+  return sim::InstancePhase::kRetired;
+}
+
+}  // namespace
 
 const char* Name(InstanceState s) {
   switch (s) {
@@ -24,13 +43,12 @@ const char* Name(InstanceState s) {
 
 Instance::Instance(InstanceId id, FunctionId fn, const model::AppDag& dag,
                    core::PipelinePlan plan, sim::Simulator& sim,
-                   metrics::Recorder& recorder, CompletionFn on_complete)
+                   CompletionFn on_complete)
     : id_(id),
       fn_(fn),
       dag_(dag),
       plan_(std::move(plan)),
       sim_(sim),
-      recorder_(recorder),
       on_complete_(std::move(on_complete)) {
   FFS_CHECK(!plan_.stages.empty());
   stages_.reserve(plan_.stages.size());
@@ -42,16 +60,23 @@ Instance::Instance(InstanceId id, FunctionId fn, const model::AppDag& dag,
   last_used_ = sim_.Now();
 }
 
+void Instance::SetState(InstanceState next) {
+  if (state_ == next) return;
+  sim_.bus().Publish(sim::InstanceStateChanged{id_, fn_, Phase(state_),
+                                               Phase(next), sim_.Now()});
+  state_ = next;
+}
+
 void Instance::Launch(SimDuration load_time) {
   FFS_CHECK(state_ == InstanceState::kLoading);
   ready_at_ = sim_.Now() + load_time;
   if (load_time == 0) {
-    state_ = InstanceState::kReady;
+    SetState(InstanceState::kReady);
     return;
   }
   sim_.At(ready_at_, [this] {
     if (state_ == InstanceState::kRetired) return;
-    if (state_ == InstanceState::kLoading) state_ = InstanceState::kReady;
+    if (state_ == InstanceState::kLoading) SetState(InstanceState::kReady);
     // Also kick stages when draining: requests admitted before the drain
     // must still be served.
     for (std::size_t i = 0; i < stages_.size(); ++i) TryStart(i);
@@ -77,13 +102,13 @@ void Instance::Enqueue(RequestId rid, double jitter) {
 
 void Instance::BeginDrain() {
   if (state_ == InstanceState::kLoading || state_ == InstanceState::kReady) {
-    state_ = InstanceState::kDraining;
+    SetState(InstanceState::kDraining);
   }
 }
 
 void Instance::MarkRetired() {
   FFS_CHECK_MSG(Idle(), "retiring an instance with in-flight requests");
-  state_ = InstanceState::kRetired;
+  SetState(InstanceState::kRetired);
 }
 
 double Instance::CapacityRps() const {
@@ -151,14 +176,19 @@ void Instance::StartPass(std::size_t stage_idx) {
 
     // Attribute the wait in this stage's queue: stage-0 waits that overlap
     // the loading interval are load time, everything else is queueing.
-    metrics::RequestRecord& rec = recorder_.record(item.rid);
     SimDuration wait = now - item.enqueued;
     if (stage_idx == 0 && ready_at_ > item.enqueued) {
       const SimDuration load_part = std::min(now, ready_at_) - item.enqueued;
-      rec.load_time += load_part;
+      if (load_part != 0) {
+        sim_.bus().Publish(sim::RequestPhaseAccrued{
+            item.rid, sim::RequestPhase::kLoad, load_part, now});
+      }
       wait -= load_part;
     }
-    rec.queue_time += wait;
+    if (wait != 0) {
+      sim_.bus().Publish(sim::RequestPhaseAccrued{
+          item.rid, sim::RequestPhase::kQueue, wait, now});
+    }
     jitter_sum += item.jitter;
     batch.push_back(item);
   }
@@ -171,15 +201,18 @@ void Instance::StartPass(std::size_t stage_idx) {
   const SimDuration per_item = static_cast<SimDuration>(
       std::llround(static_cast<double>(service) / n));
   for (const PendingItem& item : batch) {
-    recorder_.record(item.rid).exec_time += per_item;
+    if (per_item != 0) {
+      sim_.bus().Publish(sim::RequestPhaseAccrued{
+          item.rid, sim::RequestPhase::kExec, per_item, now});
+    }
   }
 
   st.busy = true;
   if (busy_stages_++ == 0) NoteActiveTransition(true);
-  recorder_.SliceBusy(st.binding.slice, now);
+  sim_.bus().Publish(sim::SliceBusyBegin{st.binding.slice, id_, now});
   sim_.After(service, [this, stage_idx, batch = std::move(batch)] {
     Stage& s = stages_[stage_idx];
-    recorder_.SliceIdle(s.binding.slice, sim_.Now());
+    sim_.bus().Publish(sim::SliceBusyEnd{s.binding.slice, id_, sim_.Now()});
     s.busy = false;
     if (--busy_stages_ == 0) NoteActiveTransition(false);
     OnStageDone(stage_idx, batch);
@@ -205,7 +238,10 @@ void Instance::OnStageDone(std::size_t stage_idx,
   const SimDuration per_item = static_cast<SimDuration>(std::llround(
       static_cast<double>(hop) / static_cast<double>(batch.size())));
   for (const PendingItem& item : batch) {
-    recorder_.record(item.rid).transfer_time += per_item;
+    if (per_item != 0) {
+      sim_.bus().Publish(sim::RequestPhaseAccrued{
+          item.rid, sim::RequestPhase::kTransfer, per_item, now});
+    }
   }
   const std::size_t next = stage_idx + 1;
   sim_.After(hop, [this, next, batch] {

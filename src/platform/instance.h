@@ -16,7 +16,6 @@
 
 #include "common/types.h"
 #include "core/pipeline.h"
-#include "metrics/recorder.h"
 #include "sim/simulator.h"
 
 namespace fluidfaas::platform {
@@ -35,9 +34,12 @@ class Instance {
   /// Invoked when a request leaves the last stage.
   using CompletionFn = std::function<void(RequestId)>;
 
+  /// Lifecycle, per-slice occupancy and per-request phase attribution are
+  /// published on `sim.bus()` (sim/events.h) rather than written to any
+  /// observer directly.
   Instance(InstanceId id, FunctionId fn, const model::AppDag& dag,
            core::PipelinePlan plan, sim::Simulator& sim,
-           metrics::Recorder& recorder, CompletionFn on_complete);
+           CompletionFn on_complete);
 
   InstanceId id() const { return id_; }
   FunctionId function() const { return fn_; }
@@ -125,13 +127,13 @@ class Instance {
   void OnStageDone(std::size_t stage_idx,
                    const std::vector<PendingItem>& batch);
   void NoteActiveTransition(bool active_now);
+  void SetState(InstanceState next);
 
   InstanceId id_;
   FunctionId fn_;
   const model::AppDag& dag_;
   core::PipelinePlan plan_;
   sim::Simulator& sim_;
-  metrics::Recorder& recorder_;
   CompletionFn on_complete_;
 
   InstanceState state_ = InstanceState::kLoading;

@@ -5,33 +5,44 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "sim/events.h"
 
 namespace fluidfaas::platform {
 
-Platform::Platform(sim::Simulator& sim, gpu::Cluster& cluster,
-                   metrics::Recorder& recorder,
-                   std::vector<FunctionSpec> functions, PlatformConfig config)
+PlatformCore::PlatformCore(sim::Simulator& sim, gpu::Cluster& cluster,
+                           std::vector<FunctionSpec> functions,
+                           PlatformConfig config, PolicyBundle bundle)
     : functions_(std::move(functions)),
       sim_(sim),
       cluster_(cluster),
-      recorder_(recorder),
       config_(config),
-      rng_(config.seed) {
+      rng_(config.seed),
+      name_(std::move(bundle.name)),
+      routing_(std::move(bundle.routing)),
+      scaling_(std::move(bundle.scaling)),
+      keepalive_(std::move(bundle.keepalive)),
+      counters_(std::move(bundle.counters)) {
   for (std::size_t i = 0; i < functions_.size(); ++i) {
     FFS_CHECK_MSG(functions_[i].id ==
                       FunctionId(static_cast<std::int32_t>(i)),
                   "function ids must be dense and ordered");
   }
+  FFS_CHECK_MSG(routing_ != nullptr, "bundle needs a RoutingPolicy");
+  FFS_CHECK_MSG(scaling_ != nullptr, "bundle needs a ScalingPolicy");
+  if (!keepalive_) keepalive_ = std::make_unique<NullKeepAlive>();
+  routing_->Attach(*this);
+  scaling_->Attach(*this);
+  keepalive_->Attach(*this);
 }
 
-Platform::~Platform() = default;
+PlatformCore::~PlatformCore() = default;
 
-void Platform::Start() {
+void PlatformCore::Start() {
   FFS_CHECK_MSG(autoscale_ == nullptr, "Start() called twice");
   last_tick_ = sim_.Now();
   autoscale_ = std::make_unique<sim::PeriodicTask>(
       sim_, config_.autoscale_period, [this] {
-        // Update arrival-rate EWMAs before the subclass scan.
+        // Update arrival-rate EWMAs before the policy scan.
         const double period_s = ToSeconds(config_.autoscale_period);
         for (auto& [fn, st] : arrivals_) {
           const double inst_rate =
@@ -52,39 +63,52 @@ void Platform::Start() {
           double& ewma = util_ewma_[inst->id()];
           ewma = (1.0 - alpha) * ewma + alpha * TickUtilization(inst.get());
         }
-        AutoscaleTick();
+        scaling_->Tick(*this);
+        keepalive_->Tick(*this);
         DispatchPending();
         last_tick_ = sim_.Now();
       });
   autoscale_->Start(sim_.Now() + config_.autoscale_period);
 }
 
-void Platform::Stop() {
+void PlatformCore::Stop() {
   if (autoscale_) autoscale_->Stop();
 }
 
-const FunctionSpec& Platform::function(FunctionId fn) const {
+const FunctionSpec& PlatformCore::function(FunctionId fn) const {
   FFS_CHECK(fn.valid() &&
             static_cast<std::size_t>(fn.value) < functions_.size());
   return functions_[static_cast<std::size_t>(fn.value)];
 }
 
-RequestId Platform::Submit(FunctionId fn) {
+SchedulerCounters PlatformCore::scheduler_counters() const {
+  return counters_ ? counters_() : SchedulerCounters{};
+}
+
+RequestId PlatformCore::Submit(FunctionId fn) {
   const FunctionSpec& spec = function(fn);
   const SimTime now = sim_.Now();
-  const RequestId rid = recorder_.NewRequest(fn, now, now + spec.slo);
-  jitter_of_[rid] = SampleJitter();
+  const RequestId rid(next_request_id_++);
+  const SimTime deadline = now + spec.slo;
+  bus().Publish(sim::RequestSubmitted{rid, fn, now, deadline});
+  meta_.emplace(rid, ReqMeta{fn, deadline, SampleJitter()});
   arrivals_[fn].count_this_tick += 1;
-  if (!Route(rid, fn)) MakePending(rid, fn);
+  if (!routing_->Route(*this, rid, fn)) MakePending(rid, fn);
   return rid;
 }
 
-double Platform::JitterOf(RequestId rid) const {
-  auto it = jitter_of_.find(rid);
-  return it == jitter_of_.end() ? 1.0 : it->second;
+double PlatformCore::JitterOf(RequestId rid) const {
+  auto it = meta_.find(rid);
+  return it == meta_.end() ? 1.0 : it->second.jitter;
 }
 
-double Platform::SampleJitter() {
+SimTime PlatformCore::DeadlineOf(RequestId rid) const {
+  auto it = meta_.find(rid);
+  FFS_CHECK_MSG(it != meta_.end(), "DeadlineOf on a non-outstanding request");
+  return it->second.deadline;
+}
+
+double PlatformCore::SampleJitter() {
   if (config_.service_jitter_cv <= 0.0) return 1.0;
   // Log-normal with unit mean: sigma^2 = ln(1 + cv^2), mu = -sigma^2/2.
   const double s2 = std::log(1.0 + config_.service_jitter_cv *
@@ -92,7 +116,7 @@ double Platform::SampleJitter() {
   return rng_.LogNormal(-0.5 * s2, std::sqrt(s2));
 }
 
-std::vector<Instance*> Platform::InstancesOf(FunctionId fn) const {
+std::vector<Instance*> PlatformCore::InstancesOf(FunctionId fn) const {
   std::vector<Instance*> out;
   auto it = by_function_.find(fn);
   if (it == by_function_.end()) return out;
@@ -102,11 +126,19 @@ std::vector<Instance*> Platform::InstancesOf(FunctionId fn) const {
   return out;
 }
 
-std::size_t Platform::PendingCount() const { return pending_.size(); }
+std::vector<Instance*> PlatformCore::AllInstances() const {
+  std::vector<Instance*> out;
+  for (const auto& inst : instances_) {
+    if (inst->state() != InstanceState::kRetired) out.push_back(inst.get());
+  }
+  return out;
+}
 
-Instance* Platform::LaunchInstance(const FunctionSpec& fn,
-                                   core::PipelinePlan plan, bool warm,
-                                   SimDuration extra_load_delay) {
+std::size_t PlatformCore::PendingCount() const { return pending_.size(); }
+
+Instance* PlatformCore::LaunchInstance(const FunctionSpec& fn,
+                                       core::PipelinePlan plan, bool warm,
+                                       SimDuration extra_load_delay) {
   const InstanceId iid(next_instance_id_++);
   const SimTime now = sim_.Now();
 
@@ -122,11 +154,11 @@ Instance* Platform::LaunchInstance(const FunctionSpec& fn,
 
   for (const core::StageBinding& s : plan.stages) {
     cluster_.Bind(s.slice, iid);
-    recorder_.SliceBound(s.slice, now);
+    bus().Publish(sim::SliceBound{s.slice, iid, now});
   }
 
   auto inst = std::make_unique<Instance>(
-      iid, fn.id, fn.dag, std::move(plan), sim_, recorder_,
+      iid, fn.id, fn.dag, std::move(plan), sim_,
       [this](RequestId rid) { HandleCompletion(rid); });
   Instance* raw = inst.get();
   instances_.push_back(std::move(inst));
@@ -139,20 +171,20 @@ Instance* Platform::LaunchInstance(const FunctionSpec& fn,
   return raw;
 }
 
-void Platform::RetireInstance(Instance* inst) {
+void PlatformCore::RetireInstance(Instance* inst) {
   FFS_CHECK(inst->state() != InstanceState::kRetired);
   FFS_CHECK_MSG(inst->Idle(), "retiring a busy instance");
   const SimTime now = sim_.Now();
   for (const core::StageBinding& s : inst->plan().stages) {
     cluster_.Release(s.slice, inst->id());
-    recorder_.SliceReleased(s.slice, now);
+    bus().Publish(sim::SliceReleased{s.slice, inst->id(), now});
   }
   inst->MarkRetired();
   TouchWarm(inst->function());
   FFS_LOG_DEBUG("platform") << name() << " retire " << inst->Describe();
 }
 
-bool Platform::DrainOrRetire(Instance* inst) {
+bool PlatformCore::DrainOrRetire(Instance* inst) {
   if (inst->Idle()) {
     RetireInstance(inst);
     return true;
@@ -161,29 +193,29 @@ bool Platform::DrainOrRetire(Instance* inst) {
   return false;
 }
 
-bool Platform::IsWarm(FunctionId fn) const {
+bool PlatformCore::IsWarm(FunctionId fn) const {
   auto it = warm_.find(fn);
   return it != warm_.end() && it->second.warm &&
          it->second.expires > sim_.Now();
 }
 
-SimDuration Platform::LoadTime(FunctionId fn, Bytes weights) const {
+SimDuration PlatformCore::LoadTime(FunctionId fn, Bytes weights) const {
   return IsWarm(fn) ? config_.load.WarmLoad(weights)
                     : config_.load.ColdLoad(weights);
 }
 
-void Platform::TouchWarm(FunctionId fn) {
+void PlatformCore::TouchWarm(FunctionId fn) {
   WarmState& w = warm_[fn];
   w.warm = true;
   w.expires = sim_.Now() + config_.warm_timeout;
 }
 
-double Platform::ArrivalRate(FunctionId fn) const {
+double PlatformCore::ArrivalRate(FunctionId fn) const {
   auto it = arrivals_.find(fn);
   return it == arrivals_.end() ? 0.0 : it->second.rate;
 }
 
-double Platform::TickUtilization(Instance* inst) {
+double PlatformCore::TickUtilization(Instance* inst) {
   const SimTime now = sim_.Now();
   const SimDuration total = inst->ActiveTotal(now);
   SimDuration& prev = last_active_snapshot_[inst->id()];
@@ -195,29 +227,28 @@ double Platform::TickUtilization(Instance* inst) {
                     0.0, 1.0);
 }
 
-double Platform::UtilizationOf(const Instance* inst) const {
+double PlatformCore::UtilizationOf(const Instance* inst) const {
   auto it = util_ewma_.find(inst->id());
   return it == util_ewma_.end() ? 0.0 : it->second;
 }
 
-void Platform::MakePending(RequestId rid, FunctionId fn) {
-  const metrics::RequestRecord& rec = recorder_.record(rid);
+void PlatformCore::MakePending(RequestId rid, FunctionId fn) {
   const FunctionSpec& spec = function(fn);
   // Adjusted deadline: deadline − estimated execution − load time (§5.3).
   const SimDuration est_exec = spec.base_latency;
   const SimDuration est_load =
       IsWarm(fn) ? config_.load.WarmLoad(spec.dag.TotalMemory() / 2) : 0;
-  pending_.emplace(rec.deadline - est_exec - est_load,
+  pending_.emplace(DeadlineOf(rid) - est_exec - est_load,
                    std::make_pair(rid, fn));
 }
 
-void Platform::DispatchPending() {
+void PlatformCore::DispatchPending() {
   // Requests are tried in ascending adjusted-deadline order; the ones that
   // still cannot be placed stay pending.
   auto it = pending_.begin();
   while (it != pending_.end()) {
     const auto [rid, fn] = it->second;
-    if (Route(rid, fn)) {
+    if (routing_->Route(*this, rid, fn)) {
       it = pending_.erase(it);
     } else {
       ++it;
@@ -225,20 +256,23 @@ void Platform::DispatchPending() {
   }
 }
 
-void Platform::HandleCompletion(RequestId rid) {
-  recorder_.Complete(rid, sim_.Now());
-  const FunctionId fn = recorder_.record(rid).fn;
-  jitter_of_.erase(rid);
-  OnCompleted(rid, fn);
+void PlatformCore::HandleCompletion(RequestId rid) {
+  auto it = meta_.find(rid);
+  FFS_CHECK_MSG(it != meta_.end(), "completion for unknown request");
+  const FunctionId fn = it->second.fn;
+  bus().Publish(sim::RequestCompleted{rid, fn, sim_.Now()});
+  meta_.erase(it);
+  scaling_->OnCompleted(*this, rid, fn);
   DispatchPending();
 }
 
-void Platform::ExpireIdleInstances(SimDuration keepalive) {
-  const SimTime now = sim_.Now();
-  for (const auto& inst : instances_) {
+void FixedIdleKeepAlive::Tick(PlatformCore& core) {
+  const SimDuration keepalive = core.config().exclusive_keepalive;
+  const SimTime now = core.simulator().Now();
+  for (Instance* inst : core.AllInstances()) {
     if (inst->state() != InstanceState::kReady) continue;
     if (!inst->Idle()) continue;
-    if (now - inst->last_used() >= keepalive) RetireInstance(inst.get());
+    if (now - inst->last_used() >= keepalive) core.RetireInstance(inst);
   }
 }
 

@@ -1,43 +1,48 @@
-// Serverless platform base: the shared machinery of FluidFaaS and the two
-// baselines — function registry, request intake, instance lifecycle
-// (slice binding through the Cluster so strong isolation is enforced),
-// warm-weights tracking, and the periodic autoscale scan.
+// PlatformCore: the mechanism layer of the serverless platform.
 //
-// Subclasses implement Route() (where a new request goes) and
-// AutoscaleTick() (scaling and state transitions); everything else —
-// launching instances from a PipelinePlan, retiring them, load-cost
-// selection (cold vs warm), per-function arrival statistics — lives here.
+// The core owns everything schedulers share — function registry, request
+// intake, instance lifecycle (slice binding through the Cluster so strong
+// isolation is enforced), warm-weights tracking, the EDF-ordered pending
+// set, and per-function arrival / per-instance utilization statistics —
+// and publishes every observable state change on the simulator's EventBus
+// (sim/events.h). It makes no scheduling decisions itself.
+//
+// All policy lives in the PolicyBundle (platform/policy.h) installed at
+// construction: RoutingPolicy decides where requests go, ScalingPolicy
+// runs the periodic scan and the Fig. 8 state transitions, KeepAlivePolicy
+// decides instance lifetime after idling. Schedulers are composed, not
+// subclassed; see platform/registry.h for how named bundles are resolved.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "gpu/cluster.h"
-#include "metrics/recorder.h"
 #include "platform/config.h"
 #include "platform/function.h"
 #include "platform/instance.h"
+#include "platform/policy.h"
 #include "sim/simulator.h"
 
 namespace fluidfaas::platform {
 
-class Platform {
+class PlatformCore {
  public:
-  Platform(sim::Simulator& sim, gpu::Cluster& cluster,
-           metrics::Recorder& recorder, std::vector<FunctionSpec> functions,
-           PlatformConfig config);
-  virtual ~Platform();
+  PlatformCore(sim::Simulator& sim, gpu::Cluster& cluster,
+               std::vector<FunctionSpec> functions, PlatformConfig config,
+               PolicyBundle bundle);
+  virtual ~PlatformCore();
 
-  Platform(const Platform&) = delete;
-  Platform& operator=(const Platform&) = delete;
+  PlatformCore(const PlatformCore&) = delete;
+  PlatformCore& operator=(const PlatformCore&) = delete;
 
-  virtual std::string name() const = 0;
+  /// The installed bundle's scheduler name.
+  const std::string& name() const { return name_; }
 
   /// Start the autoscale loop. Call once before the first Submit.
   void Start();
@@ -52,28 +57,24 @@ class Platform {
   const std::vector<FunctionSpec>& functions() const { return functions_; }
 
   sim::Simulator& simulator() const { return sim_; }
+  sim::EventBus& bus() const { return sim_.bus(); }
   gpu::Cluster& cluster() const { return cluster_; }
-  metrics::Recorder& recorder() const { return recorder_; }
   const PlatformConfig& config() const { return config_; }
+
+  /// Scheduler-specific counters from the bundle (all-zero when the bundle
+  /// exposes none).
+  SchedulerCounters scheduler_counters() const;
 
   /// Live (non-retired) instances of a function.
   std::vector<Instance*> InstancesOf(FunctionId fn) const;
 
+  /// Every live (non-retired) instance, in creation order.
+  std::vector<Instance*> AllInstances() const;
+
   /// Number of requests neither completed nor admitted to an instance.
   std::size_t PendingCount() const;
 
- protected:
-  /// Route a newly arrived (or re-dispatched) request; return true when it
-  /// was admitted to an instance, false to leave it pending.
-  virtual bool Route(RequestId rid, FunctionId fn) = 0;
-
-  virtual void AutoscaleTick() = 0;
-
-  /// Called after a request completes, before pending re-dispatch; lets
-  /// subclasses update bookkeeping.
-  virtual void OnCompleted(RequestId rid, FunctionId fn) { (void)rid; (void)fn; }
-
-  // -- shared helpers -------------------------------------------------------
+  // -- mechanism operations, called by policies -----------------------------
 
   /// Bind the plan's slices, create the instance, and start loading.
   /// `warm` selects the warm- vs cold-load path for the weight bytes;
@@ -114,29 +115,41 @@ class Platform {
   void MakePending(RequestId rid, FunctionId fn);
 
   /// Re-dispatch pending requests in priority order. Called on completions
-  /// and each tick.
+  /// and each tick; policies that free capacity out of band (e.g. after a
+  /// repartition blackout) call it directly.
   void DispatchPending();
-
-  /// Per-request service-time jitter factor.
-  double SampleJitter();
 
   /// Jitter factor assigned to an outstanding request at Submit().
   double JitterOf(RequestId rid) const;
 
-  /// Retire instances that have been idle past the exclusive keep-alive
-  /// (baseline policy; FluidFaaS overrides state transitions instead).
-  void ExpireIdleInstances(SimDuration keepalive);
+  /// SLO deadline of an outstanding request.
+  SimTime DeadlineOf(RequestId rid) const;
 
+ protected:
   std::vector<FunctionSpec> functions_;
 
  private:
+  struct ReqMeta {
+    FunctionId fn;
+    SimTime deadline = 0;
+    double jitter = 1.0;
+  };
+
   void HandleCompletion(RequestId rid);
+
+  /// Per-request service-time jitter factor.
+  double SampleJitter();
 
   sim::Simulator& sim_;
   gpu::Cluster& cluster_;
-  metrics::Recorder& recorder_;
   PlatformConfig config_;
   Rng rng_;
+
+  std::string name_;
+  std::unique_ptr<RoutingPolicy> routing_;
+  std::unique_ptr<ScalingPolicy> scaling_;
+  std::unique_ptr<KeepAlivePolicy> keepalive_;
+  std::function<SchedulerCounters()> counters_;
 
   std::unique_ptr<sim::PeriodicTask> autoscale_;
 
@@ -163,8 +176,11 @@ class Platform {
 
   // Pending requests ordered by adjusted deadline.
   std::multimap<SimTime, std::pair<RequestId, FunctionId>> pending_;
-  std::unordered_map<RequestId, double> jitter_of_;
 
+  // Outstanding (submitted, not yet completed) requests.
+  std::unordered_map<RequestId, ReqMeta> meta_;
+
+  std::int64_t next_request_id_ = 0;
   std::int32_t next_instance_id_ = 0;
 };
 

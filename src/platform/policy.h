@@ -1,0 +1,110 @@
+// The policy seam of the platform layer.
+//
+// PlatformCore (platform/platform.h) is pure mechanism: instances, slice
+// binding, warm weights, the pending set, arrival/utilization statistics.
+// Everything a scheduler *decides* is expressed through the three narrow
+// interfaces below and packaged as a PolicyBundle:
+//
+//   RoutingPolicy   — where does a newly arrived (or re-dispatched) request
+//                     go? Called from Submit() and DispatchPending().
+//   ScalingPolicy   — the periodic scan: scale-up/down and the Fig. 8 state
+//                     transitions. Called once per autoscale tick, plus a
+//                     completion hook for per-request bookkeeping.
+//   KeepAlivePolicy — instance lifetime after idling. Runs every tick
+//                     directly after the ScalingPolicy.
+//
+// Policies receive the core by reference on every call and must not assume
+// exclusive ownership; a routing and a scaling policy of one scheduler
+// typically share state via shared_ptr (see core::FfsState). Bundles are
+// registered by name in platform/registry.h so the harness — and any
+// out-of-tree experiment — resolves schedulers through one factory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace fluidfaas::platform {
+
+class PlatformCore;
+
+/// Scheduler-specific event counts surfaced uniformly through
+/// PlatformCore::scheduler_counters(); a bundle fills only the fields its
+/// policies maintain.
+struct SchedulerCounters {
+  std::size_t evictions = 0;
+  std::size_t promotions = 0;
+  std::size_t demotions = 0;
+  std::size_t migrations = 0;
+  std::size_t pipelines_launched = 0;
+  std::size_t reconfigurations = 0;
+  SimDuration reconfiguration_blackout = 0;
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Called once when the bundle is installed on a core, before any traffic.
+  virtual void Attach(PlatformCore& core) { (void)core; }
+
+  /// Route a request; return true when it was admitted to an instance,
+  /// false to leave it pending (the core re-offers pending requests on
+  /// every completion and tick).
+  virtual bool Route(PlatformCore& core, RequestId rid, FunctionId fn) = 0;
+};
+
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+
+  virtual void Attach(PlatformCore& core) { (void)core; }
+
+  /// The periodic scan: runs every autoscale_period after the core has
+  /// refreshed arrival-rate and utilization EWMAs.
+  virtual void Tick(PlatformCore& core) = 0;
+
+  /// Called after a request completes, before pending re-dispatch.
+  virtual void OnCompleted(PlatformCore& core, RequestId rid, FunctionId fn) {
+    (void)core;
+    (void)rid;
+    (void)fn;
+  }
+};
+
+class KeepAlivePolicy {
+ public:
+  virtual ~KeepAlivePolicy() = default;
+
+  virtual void Attach(PlatformCore& core) { (void)core; }
+
+  /// Runs every autoscale tick, directly after ScalingPolicy::Tick.
+  virtual void Tick(PlatformCore& core) { (void)core; }
+};
+
+/// Keeps everything: instance lifetime is entirely the scaling policy's
+/// business (FluidFaaS manages it via the Fig. 8 transitions).
+class NullKeepAlive final : public KeepAlivePolicy {};
+
+/// The exclusive-baseline policy: retire any instance that has sat idle
+/// for config().exclusive_keepalive (120 s default), scanning instances in
+/// creation order.
+class FixedIdleKeepAlive final : public KeepAlivePolicy {
+ public:
+  void Tick(PlatformCore& core) override;
+};
+
+/// A named scheduler: the three policies plus optional introspection.
+/// `keepalive` may be null (treated as NullKeepAlive); `counters` may be
+/// null (all-zero counters).
+struct PolicyBundle {
+  std::string name;
+  std::unique_ptr<RoutingPolicy> routing;
+  std::unique_ptr<ScalingPolicy> scaling;
+  std::unique_ptr<KeepAlivePolicy> keepalive;
+  std::function<SchedulerCounters()> counters;
+};
+
+}  // namespace fluidfaas::platform

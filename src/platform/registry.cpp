@@ -1,0 +1,50 @@
+#include "platform/registry.h"
+
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+
+namespace fluidfaas::platform {
+
+namespace {
+
+// std::map keeps RegisteredSchedulers() deterministic; function-local so
+// registration from any static-init context is safe.
+std::map<std::string, PolicyBundleFactory>& Factories() {
+  static std::map<std::string, PolicyBundleFactory> factories;
+  return factories;
+}
+
+}  // namespace
+
+void RegisterScheduler(const std::string& name, PolicyBundleFactory factory) {
+  FFS_CHECK_MSG(!name.empty(), "scheduler name must be non-empty");
+  FFS_CHECK_MSG(factory != nullptr, "scheduler factory must be callable");
+  Factories()[name] = std::move(factory);
+}
+
+bool HasScheduler(const std::string& name) {
+  return Factories().count(name) > 0;
+}
+
+PolicyBundle MakeSchedulerBundle(const std::string& name) {
+  auto it = Factories().find(name);
+  if (it == Factories().end()) {
+    throw FfsError("unknown scheduler: " + name);
+  }
+  PolicyBundle bundle = it->second();
+  FFS_CHECK_MSG(bundle.routing != nullptr && bundle.scaling != nullptr,
+                "scheduler '" + name +
+                    "' produced a bundle without routing/scaling policies");
+  if (bundle.name.empty()) bundle.name = name;
+  return bundle;
+}
+
+std::vector<std::string> RegisteredSchedulers() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : Factories()) names.push_back(name);
+  return names;
+}
+
+}  // namespace fluidfaas::platform

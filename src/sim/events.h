@@ -1,0 +1,166 @@
+// The typed event vocabulary of the simulation, published on the EventBus.
+//
+// Every observable state change of a run — request lifecycle, instance
+// lifecycle, per-slice occupancy, the Fig. 8 scheduler transitions, and
+// runtime GPU repartitions — is announced as one of these structs. Event
+// publication is synchronous and in simulated-time order, so subscribers
+// (metrics::Recorder, metrics::TraceExporter, tests) observe exactly the
+// sequence the platform executed, and attaching or detaching a subscriber
+// can never perturb the simulation itself.
+//
+// The structs use only common/types vocabulary so any layer above sim can
+// publish or subscribe without new dependencies.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace fluidfaas::sim {
+
+// --- request lifecycle -----------------------------------------------------
+
+/// Where a request's wall-clock went; mirrors metrics::RequestRecord fields.
+enum class RequestPhase { kQueue, kLoad, kExec, kTransfer };
+
+constexpr const char* Name(RequestPhase p) {
+  switch (p) {
+    case RequestPhase::kQueue:
+      return "queue";
+    case RequestPhase::kLoad:
+      return "load";
+    case RequestPhase::kExec:
+      return "exec";
+    case RequestPhase::kTransfer:
+      return "transfer";
+  }
+  return "?";
+}
+
+/// A request entered the platform (deadline = arrival + SLO).
+struct RequestSubmitted {
+  RequestId rid;
+  FunctionId fn;
+  SimTime at = 0;
+  SimTime deadline = 0;
+};
+
+/// A request spent `amount` more simulated time in `phase`.
+struct RequestPhaseAccrued {
+  RequestId rid;
+  RequestPhase phase = RequestPhase::kQueue;
+  SimDuration amount = 0;
+  SimTime at = 0;
+};
+
+/// A request left the last pipeline stage.
+struct RequestCompleted {
+  RequestId rid;
+  FunctionId fn;
+  SimTime at = 0;
+};
+
+// --- instance lifecycle ----------------------------------------------------
+
+/// Mirror of platform::InstanceState, kept here so subscribers below the
+/// platform layer can name instance phases without depending on it.
+enum class InstancePhase { kLoading, kReady, kDraining, kRetired };
+
+constexpr const char* Name(InstancePhase p) {
+  switch (p) {
+    case InstancePhase::kLoading:
+      return "loading";
+    case InstancePhase::kReady:
+      return "ready";
+    case InstancePhase::kDraining:
+      return "draining";
+    case InstancePhase::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+struct InstanceStateChanged {
+  InstanceId iid;
+  FunctionId fn;
+  InstancePhase from = InstancePhase::kLoading;
+  InstancePhase to = InstancePhase::kLoading;
+  SimTime at = 0;
+};
+
+// --- slice occupancy -------------------------------------------------------
+
+/// A MIG slice was allocated to an instance ("bound"/occupied).
+struct SliceBound {
+  SliceId slice;
+  InstanceId iid;
+  SimTime at = 0;
+};
+
+struct SliceReleased {
+  SliceId slice;
+  InstanceId iid;
+  SimTime at = 0;
+};
+
+/// A stage began computing on its slice ("busy"/actively used).
+struct SliceBusyBegin {
+  SliceId slice;
+  InstanceId iid;
+  SimTime at = 0;
+};
+
+struct SliceBusyEnd {
+  SliceId slice;
+  InstanceId iid;
+  SimTime at = 0;
+};
+
+// --- scheduler state transitions (Fig. 8) ----------------------------------
+
+/// The hotness-state moves of §5.3: ② promotion to exclusive-hot,
+/// ③ demotion to time sharing, ④ eviction to CPU-warm, ⑤ cold drop, plus
+/// the pipeline → monolithic migration.
+enum class TransitionKind {
+  kPromotion,
+  kDemotion,
+  kEviction,
+  kMigration,
+  kColdDrop,
+};
+
+constexpr const char* Name(TransitionKind k) {
+  switch (k) {
+    case TransitionKind::kPromotion:
+      return "promotion";
+    case TransitionKind::kDemotion:
+      return "demotion";
+    case TransitionKind::kEviction:
+      return "eviction";
+    case TransitionKind::kMigration:
+      return "migration";
+    case TransitionKind::kColdDrop:
+      return "cold-drop";
+  }
+  return "?";
+}
+
+struct SchedulerTransition {
+  TransitionKind kind = TransitionKind::kPromotion;
+  FunctionId fn;
+  InstanceId iid;  // invalid when the transition has no live instance
+  SimTime at = 0;
+};
+
+// --- runtime repartitioning ------------------------------------------------
+
+/// A GPU was repartitioned at runtime (Repartition baseline); `blackout`
+/// is how long the fresh slices stay sentinel-bound.
+struct PartitionReconfigured {
+  GpuId gpu;
+  SimTime at = 0;
+  std::string partition;
+  SimDuration blackout = 0;
+};
+
+}  // namespace fluidfaas::sim

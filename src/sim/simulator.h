@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "common/types.h"
+#include "sim/event_bus.h"
 #include "sim/event_queue.h"
 
 namespace fluidfaas::sim {
@@ -21,6 +22,12 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const { return now_; }
+
+  /// The run's typed publish/subscribe bus (see sim/events.h). Components
+  /// publish structured state changes here; observers (metrics, tracing)
+  /// subscribe instead of being threaded by reference through every layer.
+  EventBus& bus() { return bus_; }
+  const EventBus& bus() const { return bus_; }
 
   /// Schedule at an absolute time (must be >= Now()).
   EventId At(SimTime when, EventFn fn);
@@ -49,6 +56,7 @@ class Simulator {
  private:
   SimTime now_ = 0;
   EventQueue queue_;
+  EventBus bus_;
   std::uint64_t executed_ = 0;
 };
 

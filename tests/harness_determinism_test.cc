@@ -1,0 +1,76 @@
+// Attaching observers must never change the simulation: the same seed with
+// and without the Chrome-trace exporter yields bit-identical metrics.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace fluidfaas::harness {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kFluidFaas;
+  cfg.tier = trace::WorkloadTier::kLight;
+  cfg.num_nodes = 1;
+  cfg.gpus_per_node = 4;
+  cfg.duration = Seconds(60);
+  cfg.seed = 4242;
+  return cfg;
+}
+
+TEST(HarnessDeterminismTest, TraceExporterDoesNotPerturbTheRun) {
+  ExperimentConfig plain = SmallConfig();
+  ExperimentConfig traced = SmallConfig();
+  const std::string path = ::testing::TempDir() + "ffs_determinism_trace.json";
+  traced.trace_out = path;
+
+  const ExperimentResult a = RunExperiment(plain);
+  const ExperimentResult b = RunExperiment(traced);
+
+  // Bit-identical headline metrics...
+  EXPECT_EQ(a.slo_hit_rate, b.slo_hit_rate);
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.recorder->total_requests(), b.recorder->total_requests());
+  EXPECT_EQ(a.recorder->completed_requests(),
+            b.recorder->completed_requests());
+  EXPECT_EQ(a.recorder->MigTime(), b.recorder->MigTime());
+  EXPECT_EQ(a.recorder->GpuTime(), b.recorder->GpuTime());
+  // ...down to every per-request latency.
+  EXPECT_EQ(a.recorder->LatenciesSeconds(), b.recorder->LatenciesSeconds());
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.pipelines_launched, b.pipelines_launched);
+
+  // And the trace file is a non-empty Chrome-trace JSON.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string trace = ss.str();
+  EXPECT_FALSE(trace.empty());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\""), std::string::npos);
+}
+
+TEST(HarnessDeterminismTest, SameSeedSameResultAcrossSystems) {
+  for (SystemKind kind :
+       {SystemKind::kEsg, SystemKind::kInfless, SystemKind::kRepartition,
+        SystemKind::kFluidFaasDistributed}) {
+    ExperimentConfig cfg = SmallConfig();
+    cfg.system = kind;
+    cfg.duration = Seconds(30);
+    const ExperimentResult a = RunExperiment(cfg);
+    const ExperimentResult b = RunExperiment(cfg);
+    EXPECT_EQ(a.slo_hit_rate, b.slo_hit_rate) << Name(kind);
+    EXPECT_EQ(a.recorder->LatenciesSeconds(),
+              b.recorder->LatenciesSeconds())
+        << Name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace fluidfaas::harness

@@ -34,14 +34,16 @@ class BatchingTest : public ::testing::Test {
                                        gpu::MigPartition::Parse(
                                            "1g.10gb+1g.10gb"))),
         recorder_(cluster_),
-        dag_("app", {Comp(Millis(100))}, {{-1, 0}}) {}
+        dag_("app", {Comp(Millis(100))}, {{-1, 0}}) {
+    recorder_.SubscribeTo(sim_.bus());
+  }
 
   std::unique_ptr<Instance> Make(int max_batch, double marginal) {
     auto plan = *core::MonolithicPlanOnSlice(dag_, cluster_, SliceId(0));
     cluster_.Bind(SliceId(0), InstanceId(1));
     recorder_.SliceBound(SliceId(0), 0);
     auto inst = std::make_unique<Instance>(
-        InstanceId(1), FunctionId(0), dag_, std::move(plan), sim_, recorder_,
+        InstanceId(1), FunctionId(0), dag_, std::move(plan), sim_,
         [this](RequestId rid) { completions_.push_back({rid, sim_.Now()}); });
     inst->SetBatching(max_batch, marginal);
     inst->Launch(0);

@@ -36,7 +36,9 @@ class InstanceTest : public ::testing::Test {
         recorder_(cluster_),
         dag_("app",
              {Comp(0, Millis(100)), Comp(1, Millis(100))},
-             {{-1, 0}, {0, 1}}) {}
+             {{-1, 0}, {0, 1}}) {
+    recorder_.SubscribeTo(sim_.bus());
+  }
 
   core::PipelinePlan OneStagePlan() {
     return *core::MonolithicPlanOnSlice(dag_, cluster_, SliceId(0));
@@ -64,7 +66,7 @@ class InstanceTest : public ::testing::Test {
       recorder_.SliceBound(s.slice, sim_.Now());
     }
     auto inst = std::make_unique<Instance>(
-        InstanceId(1), FunctionId(0), dag_, std::move(plan), sim_, recorder_,
+        InstanceId(1), FunctionId(0), dag_, std::move(plan), sim_,
         [this](RequestId rid) { completions_.push_back({rid, sim_.Now()}); });
     inst->Launch(load);
     return inst;

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/pipeline.h"
+#include "metrics/recorder.h"
 #include "model/zoo.h"
+#include "platform/policy.h"
 
 namespace fluidfaas::platform {
 namespace {
@@ -18,66 +22,70 @@ std::vector<FunctionSpec> StudyFunctions(model::Variant v) {
   return fns;
 }
 
-/// Minimal concrete platform: routes every request to a single monolithic
-/// instance per function, created on demand. Exposes the protected helpers
-/// under test.
-class TestPlatform : public Platform {
- public:
-  using Platform::ArrivalRate;
-  using Platform::DrainOrRetire;
-  using Platform::IsWarm;
-  using Platform::LaunchInstance;
-  using Platform::LoadTime;
-  using Platform::RetireInstance;
-  using Platform::TickUtilization;
-  using Platform::TouchWarm;
-
-  TestPlatform(sim::Simulator& sim, gpu::Cluster& cluster,
-               metrics::Recorder& recorder, std::vector<FunctionSpec> fns,
-               PlatformConfig config)
-      : Platform(sim, cluster, recorder, std::move(fns), config) {}
-
-  std::string name() const override { return "test"; }
-
+/// Minimal routing policy: one monolithic instance per function, created on
+/// demand. The shared knobs let tests toggle acceptance and count calls.
+struct TestKnobs {
   int route_calls = 0;
   bool accept = true;
+};
 
- protected:
-  bool Route(RequestId rid, FunctionId fn) override {
-    ++route_calls;
-    if (!accept) return false;
-    auto insts = InstancesOf(fn);
+class TestRouting final : public RoutingPolicy {
+ public:
+  explicit TestRouting(std::shared_ptr<TestKnobs> knobs)
+      : knobs_(std::move(knobs)) {}
+
+  bool Route(PlatformCore& core, RequestId rid, FunctionId fn) override {
+    ++knobs_->route_calls;
+    if (!knobs_->accept) return false;
     Instance* inst = nullptr;
-    for (Instance* i : insts) {
+    for (Instance* i : core.InstancesOf(fn)) {
       if (i->CanAdmit()) inst = i;
     }
     if (inst == nullptr) {
-      const FunctionSpec& spec = function(fn);
-      auto sid = cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+      const FunctionSpec& spec = core.function(fn);
+      auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
       if (!sid) return false;
-      inst = LaunchInstance(spec,
-                            *core::MonolithicPlanOnSlice(spec.dag, cluster(),
-                                                         *sid),
-                            IsWarm(fn));
+      inst = core.LaunchInstance(
+          spec, *core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid),
+          core.IsWarm(fn));
     }
-    inst->Enqueue(rid, JitterOf(rid));
+    inst->Enqueue(rid, core.JitterOf(rid));
     return true;
   }
-  void AutoscaleTick() override {}
+
+ private:
+  std::shared_ptr<TestKnobs> knobs_;
 };
+
+class NoScaling final : public ScalingPolicy {
+ public:
+  void Tick(PlatformCore&) override {}
+};
+
+PolicyBundle TestBundle(std::shared_ptr<TestKnobs> knobs) {
+  PolicyBundle b;
+  b.name = "test";
+  b.routing = std::make_unique<TestRouting>(std::move(knobs));
+  b.scaling = std::make_unique<NoScaling>();
+  return b;
+}
 
 class PlatformTest : public ::testing::Test {
  protected:
   PlatformTest()
       : cluster_(gpu::Cluster::Uniform(1, 2, gpu::DefaultPartition())),
         recorder_(cluster_),
-        plat_(sim_, cluster_, recorder_,
-              StudyFunctions(model::Variant::kSmall), PlatformConfig{}) {}
+        knobs_(std::make_shared<TestKnobs>()),
+        plat_(sim_, cluster_, StudyFunctions(model::Variant::kSmall),
+              PlatformConfig{}, TestBundle(knobs_)) {
+    recorder_.SubscribeTo(sim_.bus());
+  }
 
   sim::Simulator sim_;
   gpu::Cluster cluster_;
   metrics::Recorder recorder_;
-  TestPlatform plat_;
+  std::shared_ptr<TestKnobs> knobs_;
+  PlatformCore plat_;
 };
 
 TEST_F(PlatformTest, SubmitCreatesRecordWithSloDeadline) {
@@ -86,8 +94,11 @@ TEST_F(PlatformTest, SubmitCreatesRecordWithSloDeadline) {
   EXPECT_EQ(rec.fn, FunctionId(0));
   EXPECT_EQ(rec.arrival, 0);
   EXPECT_EQ(rec.deadline, plat_.function(FunctionId(0)).slo);
-  EXPECT_EQ(plat_.route_calls, 1);
+  EXPECT_EQ(plat_.DeadlineOf(rid), rec.deadline);
+  EXPECT_EQ(knobs_->route_calls, 1);
 }
+
+TEST_F(PlatformTest, NameComesFromBundle) { EXPECT_EQ(plat_.name(), "test"); }
 
 TEST_F(PlatformTest, LaunchBindsSlicesAndRetireReleases) {
   const FunctionSpec& spec = plat_.function(FunctionId(0));
@@ -122,10 +133,10 @@ TEST_F(PlatformTest, WarmExpiresAfterTimeout) {
 }
 
 TEST_F(PlatformTest, PendingRequestsRetryOnCompletion) {
-  plat_.accept = false;
+  knobs_->accept = false;
   plat_.Submit(FunctionId(0));
   EXPECT_EQ(plat_.PendingCount(), 1u);
-  plat_.accept = true;
+  knobs_->accept = true;
   // A completion of some other request triggers DispatchPending; simplest
   // trigger here: submit one that is accepted and let it finish.
   plat_.Submit(FunctionId(0));
@@ -136,10 +147,10 @@ TEST_F(PlatformTest, PendingRequestsRetryOnCompletion) {
 
 TEST_F(PlatformTest, StartRunsAutoscaleAndDispatchesPending) {
   plat_.Start();
-  plat_.accept = false;
+  knobs_->accept = false;
   plat_.Submit(FunctionId(1));
   EXPECT_EQ(plat_.PendingCount(), 1u);
-  plat_.accept = true;
+  knobs_->accept = true;
   sim_.RunUntil(Seconds(2));  // a few autoscale ticks
   EXPECT_EQ(plat_.PendingCount(), 0u);
   plat_.Stop();

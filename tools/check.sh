@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification, plain and sanitized.
+#
+# Runs the ROADMAP.md tier-1 check (configure + build + ctest) twice: once
+# in the default build tree, once with FFS_SANITIZE=ON (AddressSanitizer +
+# UBSan). Usage:
+#
+#   tools/check.sh          # both passes
+#   tools/check.sh plain    # default build only
+#   tools/check.sh asan     # sanitized build only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+mode="${1:-all}"
+
+run_pass() {
+  local dir="$1"; shift
+  echo "=== ${dir}: cmake $* ==="
+  cmake -B "${dir}" -S . "$@"
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+case "${mode}" in
+  plain) run_pass build ;;
+  asan)  run_pass build-asan -DFFS_SANITIZE=ON ;;
+  all)
+    run_pass build
+    run_pass build-asan -DFFS_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: tools/check.sh [plain|asan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "=== check.sh: all requested passes green ==="

@@ -3,7 +3,7 @@
 //   fluidfaas run   [--tier light|medium|heavy] [--system fluidfaas|esg|
 //                    infless|repartition|all] [--nodes N] [--gpus N]
 //                    [--duration SECONDS] [--load FRACTION] [--seed N]
-//                    [--partition SPEC] [--csv FILE]
+//                    [--partition SPEC] [--csv FILE] [--trace-out FILE]
 //   fluidfaas trace [--functions N] [--rps R] [--duration SECONDS]
 //                    [--seed N] [--out FILE]
 //   fluidfaas plan  [--app 0..3 | --llm 7b|13b|34b]
@@ -12,7 +12,9 @@
 //
 // `run` replays a synthesized Azure-like trace through the chosen
 // platform(s) and prints the comparison table; `--csv` additionally dumps
-// per-request records. `plan` prints the CV-ranked pipeline candidates for
+// per-request records and `--trace-out` writes a Chrome-trace JSON of the
+// run (load it in chrome://tracing or https://ui.perfetto.dev; single
+// system only). `plan` prints the CV-ranked pipeline candidates for
 // one application. `partitions` enumerates every maximal A100 MIG
 // configuration under the placement rules.
 #include <fstream>
@@ -75,9 +77,13 @@ int CmdRun(const CliArgs& args) {
               << " invocations from " << args.GetString("trace", "") << "\n";
   }
 
+  cfg.trace_out = args.GetString("trace-out", "");
+
   const std::string system = args.GetString("system", "all");
   std::vector<harness::ExperimentResult> results;
   if (system == "all") {
+    FFS_CHECK_MSG(cfg.trace_out.empty(),
+                  "--trace-out requires a single --system (not 'all')");
     results = harness::RunComparison(cfg);
   } else {
     if (system == "fluidfaas") cfg.system = harness::SystemKind::kFluidFaas;
@@ -89,6 +95,9 @@ int CmdRun(const CliArgs& args) {
       cfg.system = harness::SystemKind::kFluidFaasDistributed;
     else throw FfsError("unknown system: " + system);
     results.push_back(harness::RunExperiment(cfg));
+    if (!cfg.trace_out.empty()) {
+      std::cout << "Chrome trace written to " << cfg.trace_out << "\n";
+    }
   }
 
   metrics::Table table({"system", "completed", "throughput", "SLO hit",
@@ -240,7 +249,8 @@ int main(int argc, char** argv) {
     if (cmd == "run") {
       return CmdRun(CliArgs(argc, argv, 2,
                             {"tier", "system", "nodes", "gpus", "duration",
-                             "load", "seed", "partition", "csv", "trace", "json"}));
+                             "load", "seed", "partition", "csv", "trace",
+                             "json", "trace-out"}));
     }
     if (cmd == "trace") {
       return CmdTrace(CliArgs(argc, argv, 2,
