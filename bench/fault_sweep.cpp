@@ -1,0 +1,92 @@
+// Fault sweep (robustness extension): how gracefully does each scheduler
+// degrade as deterministic fault injection ramps up? At rate 0 this is the
+// exact fault-free simulation; each higher rate adds instance crashes,
+// slice failures, doomed cold starts and slow-start stragglers (see
+// DESIGN.md "Failure model"). Goodput counts SLO-hit completions that were
+// not disqualified by the enforcement timeout, so a scheduler that retries
+// well keeps goodput close to its fault-free throughput.
+#include <fstream>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "harness/json_report.h"
+
+using namespace fluidfaas;
+
+namespace {
+
+constexpr double kRates[] = {0.0, 0.01, 0.03, 0.1};
+
+constexpr harness::SystemKind kSystems[] = {
+    harness::SystemKind::kInfless,    harness::SystemKind::kEsg,
+    harness::SystemKind::kRepartition,
+    harness::SystemKind::kFluidFaasDistributed,
+    harness::SystemKind::kFluidFaas,
+};
+
+}  // namespace
+
+int main() {
+  bench::Banner("Fault sweep — goodput & SLO degradation under injection",
+                "robustness extension beyond the paper");
+
+  metrics::Table table({"rate (/s)", "System", "goodput", "SLO hit",
+                        "vs rate 0", "inst fail", "slice fail", "retries",
+                        "recovered", "abandoned"});
+
+  JsonWriter w;
+  w.BeginArray();
+  // Fault-free goodput per system, the baseline of the degradation column.
+  double baseline[sizeof(kSystems) / sizeof(kSystems[0])] = {};
+
+  for (double rate : kRates) {
+    for (std::size_t s = 0; s < sizeof(kSystems) / sizeof(kSystems[0]);
+         ++s) {
+      auto cfg = bench::PaperConfig(trace::WorkloadTier::kMedium);
+      cfg.system = kSystems[s];
+      cfg.faults.rate = rate;
+      cfg.faults.mttr = Seconds(30.0);
+      cfg.faults.timeout_scale = 3.0;
+      auto r = harness::RunExperiment(cfg);
+      if (rate == 0.0) baseline[s] = r.goodput_rps;
+      const double rel =
+          baseline[s] > 0.0 ? r.goodput_rps / baseline[s] : 1.0;
+      table.AddRow({metrics::Fmt(rate, 2), r.system,
+                    metrics::Fmt(r.goodput_rps, 1) + " rps",
+                    metrics::FmtPercent(r.slo_hit_rate),
+                    metrics::FmtPercent(rel),
+                    std::to_string(r.instances_failed),
+                    std::to_string(r.slices_failed),
+                    std::to_string(r.retries),
+                    std::to_string(r.recovered),
+                    std::to_string(r.abandoned)});
+      w.BeginObject();
+      w.Key("fault_rate").Value(rate);
+      w.Key("system").Value(r.system);
+      w.Key("goodput_rps").Value(r.goodput_rps);
+      w.Key("goodput_vs_baseline").Value(rel);
+      w.Key("throughput_rps").Value(r.throughput_rps);
+      w.Key("slo_hit_rate").Value(r.slo_hit_rate);
+      w.Key("instances_failed").Value(r.instances_failed);
+      w.Key("slices_failed").Value(r.slices_failed);
+      w.Key("timeouts").Value(r.timeouts);
+      w.Key("retries").Value(r.retries);
+      w.Key("recovered").Value(r.recovered);
+      w.Key("abandoned").Value(r.abandoned);
+      w.EndObject();
+    }
+  }
+  table.Print();
+  w.EndArray();
+
+  const char* env = std::getenv("FFS_FAULT_SWEEP_OUT");
+  const std::string path = env != nullptr ? env : "fault_sweep.json";
+  std::ofstream out(path);
+  FFS_CHECK_MSG(out.good(), "cannot write " + path);
+  out << w.Take() << "\n";
+  std::cout << "\nJSON report written to " << path << "\n"
+            << "Failures stay contained to single MIG slices (strong\n"
+               "isolation); the degradation column shows how much of each\n"
+               "scheduler's fault-free goodput survives the injection.\n";
+  return 0;
+}

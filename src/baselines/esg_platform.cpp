@@ -48,7 +48,7 @@ std::vector<int> EsgState::FreeCounts(
   std::vector<int> counts(gpu::kAllProfiles.size(), 0);
   for (SliceId sid : core.cluster().AllSlices()) {
     const gpu::MigSlice& s = core.cluster().slice(sid);
-    if (s.free()) counts[static_cast<std::size_t>(s.profile())] += 1;
+    if (s.allocatable()) counts[static_cast<std::size_t>(s.profile())] += 1;
   }
   return counts;
 }

@@ -131,7 +131,7 @@ std::vector<SliceId> Cluster::RepartitionGpu(GpuId gpu_id,
 std::vector<SliceId> Cluster::FreeSlices() const {
   std::vector<SliceId> out;
   for (SliceId id : AllSlices()) {
-    if (slice(id).free()) out.push_back(id);
+    if (slice(id).allocatable()) out.push_back(id);
   }
   return out;
 }
@@ -140,7 +140,7 @@ std::vector<SliceId> Cluster::FreeSlices(MigProfile profile) const {
   std::vector<SliceId> out;
   for (SliceId id : AllSlices()) {
     const MigSlice& s = slice(id);
-    if (s.free() && s.profile() == profile) out.push_back(id);
+    if (s.allocatable() && s.profile() == profile) out.push_back(id);
   }
   return out;
 }
@@ -149,7 +149,7 @@ std::vector<SliceId> Cluster::FreeSlicesOnNode(NodeId node) const {
   std::vector<SliceId> out;
   for (SliceId id : AllSlices()) {
     const MigSlice& s = slice(id);
-    if (s.free() && s.node == node) out.push_back(id);
+    if (s.allocatable() && s.node == node) out.push_back(id);
   }
   return out;
 }
@@ -159,7 +159,7 @@ std::optional<SliceId> Cluster::SmallestFreeSliceWithMemory(
   std::optional<SliceId> best;
   for (SliceId id : AllSlices()) {
     const MigSlice& s = slice(id);
-    if (!s.free() || s.memory() < min_memory) continue;
+    if (!s.allocatable() || s.memory() < min_memory) continue;
     if (!best || slice(*best).gpcs() > s.gpcs()) best = id;
   }
   return best;
@@ -170,8 +170,42 @@ void Cluster::Bind(SliceId sid, InstanceId instance) {
   FFS_CHECK_MSG(s.free(), "strong-isolation violation: slice " +
                               ToString(sid) + " already bound to instance " +
                               ToString(s.occupant));
+  FFS_CHECK_MSG(!s.failed,
+                "binding failed slice " + ToString(sid) + " before repair");
   FFS_CHECK(instance.valid());
   s.occupant = instance;
+}
+
+void Cluster::MarkFailed(SliceId sid) {
+  MigSlice& s = slice(sid);
+  FFS_CHECK_MSG(s.free(),
+                "MarkFailed on slice " + ToString(sid) +
+                    " while still bound; crash the occupant first");
+  FFS_CHECK_MSG(!s.failed, "slice " + ToString(sid) + " already failed");
+  s.failed = true;
+}
+
+void Cluster::Repair(SliceId sid) {
+  FFS_CHECK(sid.valid() &&
+            static_cast<std::size_t>(sid.value) < slices_.size());
+  if (IsDead(sid)) return;  // a repartition already replaced this slice
+  MigSlice& s = slice(sid);
+  FFS_CHECK_MSG(s.failed, "Repair on healthy slice " + ToString(sid));
+  s.failed = false;
+}
+
+bool Cluster::IsFailed(SliceId sid) const {
+  FFS_CHECK(sid.valid() &&
+            static_cast<std::size_t>(sid.value) < slices_.size());
+  return !IsDead(sid) && slice(sid).failed;
+}
+
+std::vector<SliceId> Cluster::FailedSlices() const {
+  std::vector<SliceId> out;
+  for (SliceId id : AllSlices()) {
+    if (slice(id).failed) out.push_back(id);
+  }
+  return out;
 }
 
 void Cluster::Release(SliceId sid, InstanceId instance) {

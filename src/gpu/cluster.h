@@ -27,11 +27,14 @@ struct MigSlice {
   GpuId gpu;               // cluster-unique GPU index
   Placement placement;     // profile + memory-slot position
   InstanceId occupant;     // invalid() when free
+  bool failed = false;     // hardware fault; unallocatable until repaired
 
   MigProfile profile() const { return placement.profile; }
   int gpcs() const { return Gpcs(placement.profile); }
   Bytes memory() const { return MemBytes(placement.profile); }
   bool free() const { return !occupant.valid(); }
+  /// Free AND healthy — the only slices schedulers may bind.
+  bool allocatable() const { return free() && !failed; }
 };
 
 /// A single GPU: its partition and the slices it exposes.
@@ -98,18 +101,34 @@ class Cluster {
   /// All slices, cluster-wide, in id order.
   std::vector<SliceId> AllSlices() const;
 
-  /// Free slices, optionally restricted to one profile / one node.
+  /// Allocatable (free and healthy) slices, optionally restricted to one
+  /// profile / one node. Failed slices never appear here.
   std::vector<SliceId> FreeSlices() const;
   std::vector<SliceId> FreeSlices(MigProfile profile) const;
   std::vector<SliceId> FreeSlicesOnNode(NodeId node) const;
 
-  /// Smallest free slice with at least `min_memory`; prefers fewer GPCs,
-  /// then lower slice id (deterministic). nullopt when none qualifies.
+  /// Smallest allocatable slice with at least `min_memory`; prefers fewer
+  /// GPCs, then lower slice id (deterministic). nullopt when none qualifies.
   std::optional<SliceId> SmallestFreeSliceWithMemory(Bytes min_memory) const;
 
   /// Bind / release enforce the strong-isolation invariant.
   void Bind(SliceId sid, InstanceId instance);
   void Release(SliceId sid, InstanceId instance);
+
+  /// Fault a slice: it must already be free (the platform crashes and
+  /// releases the occupant first) and stays unallocatable until Repair().
+  /// The paper's isolation claim is exactly that the failure stops here —
+  /// sibling slices of the same GPU keep serving.
+  void MarkFailed(SliceId sid);
+
+  /// Bring a failed slice back. Ignores slices retired by a repartition in
+  /// the meantime (repartitioning replaces broken slices with fresh ids).
+  void Repair(SliceId sid);
+
+  bool IsFailed(SliceId sid) const;
+
+  /// Currently failed (and not repartitioned-away) slices, in id order.
+  std::vector<SliceId> FailedSlices() const;
 
   /// Replace a GPU's MIG partition at runtime (all its slices must be
   /// free). The old slice ids die permanently; the new slices get fresh

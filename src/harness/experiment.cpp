@@ -9,6 +9,7 @@
 #include "metrics/trace_exporter.h"
 #include "platform/platform.h"
 #include "platform/registry.h"
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
 
 namespace fluidfaas::harness {
@@ -95,9 +96,27 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     exporter->SetFunctionNames(std::move(names));
     exporter->SubscribeTo(sim.bus());
   }
+  platform::PlatformConfig pconfig = config.platform;
+  if (config.faults.timeout_scale > 0.0) {
+    pconfig.request_timeout_scale = config.faults.timeout_scale;
+  }
   auto plat = std::make_unique<platform::PlatformCore>(
-      sim, cluster, workload.functions, config.platform,
+      sim, cluster, workload.functions, pconfig,
       platform::MakeSchedulerBundle(Name(config.system)));
+
+  // --- fault injection -----------------------------------------------------
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (config.faults.rate > 0.0) {
+    sim::FaultPlan fp;
+    fp.rate = config.faults.rate;
+    fp.seed = config.faults.seed != 0 ? config.faults.seed
+                                      : config.seed ^ 0x9e3779b97f4a7c15ULL;
+    fp.mttr = config.faults.mttr;
+    fp.horizon = config.duration;
+    fp.num_slices = static_cast<int>(cluster.num_slices());
+    injector = std::make_unique<sim::FaultInjector>(sim, fp);
+    injector->Start();
+  }
 
   // --- replay --------------------------------------------------------------
   plat->Start();
@@ -107,12 +126,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   sim.RunUntil(config.duration);
 
   // Drain the backlog: keep the platform's periodic machinery alive until
-  // every request completed or the drain cap is reached.
+  // every request reached a terminal state (completed, timed out mid-queue,
+  // or abandoned) or the drain cap is reached.
   const SimTime cap = config.duration + config.drain_cap;
-  while (recorder->completed_requests() < recorder->total_requests() &&
+  while (recorder->finished_requests() < recorder->total_requests() &&
          sim.Now() < cap) {
     sim.RunUntil(sim.Now() + Seconds(1.0));
   }
+  if (injector) injector->Stop();
   plat->Stop();
 
   // --- metrics -------------------------------------------------------------
@@ -135,6 +156,13 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   res.slo_hit_rate = recorder->SloHitRate();
   res.throughput_rps = recorder->WindowedThroughput(config.duration);
+  res.goodput_rps = recorder->WindowedGoodput(config.duration);
+  res.timeouts = recorder->timeouts();
+  res.retries = recorder->retries_total();
+  res.abandoned = recorder->abandoned_requests();
+  res.recovered = recorder->RecoveredRequests();
+  res.instances_failed = recorder->instances_failed();
+  res.slices_failed = recorder->slices_failed();
   res.mig_time = recorder->MigTime();
   res.gpu_time = recorder->GpuTime();
   const platform::SchedulerCounters sc = plat->scheduler_counters();

@@ -60,6 +60,19 @@ struct ExperimentConfig {
   /// Attaching the exporter never changes the simulation.
   std::string trace_out;
 
+  /// Deterministic fault injection (sim::FaultInjector). rate 0 — the
+  /// default — constructs no injector and schedules no timers, so
+  /// fault-free runs stay byte-identical to builds without this feature.
+  struct FaultConfig {
+    double rate = 0.0;        // mean faults per second of simulated time
+    std::uint64_t seed = 0;   // 0 = derive from the experiment seed
+    SimDuration mttr = Seconds(30.0);  // mean slice repair time
+    /// Per-request enforcement timeout scale (× SLO); copied into
+    /// platform.request_timeout_scale when > 0.
+    double timeout_scale = 0.0;
+  };
+  FaultConfig faults;
+
   platform::PlatformConfig platform;
 };
 
@@ -80,6 +93,15 @@ struct ExperimentResult {
   double throughput_rps = 0.0;
   SimDuration mig_time = 0;
   SimDuration gpu_time = 0;
+
+  // Availability under faults (all zero in fault-free runs).
+  double goodput_rps = 0.0;  // SLO-hit, non-timed-out completions per second
+  std::size_t timeouts = 0;
+  std::size_t retries = 0;
+  std::size_t abandoned = 0;
+  std::size_t recovered = 0;  // completions that survived >=1 failure
+  std::size_t instances_failed = 0;
+  std::size_t slices_failed = 0;
 
   // Scheduler-behaviour counters (FluidFaaS only; zero otherwise).
   std::size_t evictions = 0;

@@ -39,6 +39,15 @@ void WriteResult(JsonWriter& w, const ExperimentResult& r) {
     }
     w.EndArray();
   }
+  w.Key("availability").BeginObject();
+  w.Key("goodput_rps").Value(r.goodput_rps);
+  w.Key("timeouts").Value(r.timeouts);
+  w.Key("retries").Value(r.retries);
+  w.Key("abandoned").Value(r.abandoned);
+  w.Key("recovered").Value(r.recovered);
+  w.Key("instances_failed").Value(r.instances_failed);
+  w.Key("slices_failed").Value(r.slices_failed);
+  w.EndObject();
   w.Key("scheduler").BeginObject();
   w.Key("pipelines_launched").Value(r.pipelines_launched);
   w.Key("evictions").Value(r.evictions);

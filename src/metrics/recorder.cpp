@@ -62,6 +62,35 @@ void Recorder::SubscribeTo(sim::EventBus& bus) {
       [this](const sim::SliceBusyEnd& e) { SliceIdle(e.slice, e.at); });
   bus.Subscribe<sim::PartitionReconfigured>(
       [this](const sim::PartitionReconfigured&) { SyncSlices(*cluster_); });
+  bus.Subscribe<sim::RequestTimedOut>([this](const sim::RequestTimedOut& e) {
+    RequestRecord& r = record(e.rid);
+    r.timed_out = true;
+    ++timeouts_;
+    // Mid-queue expiry cancels the request outright; it never completes.
+    if (!e.mid_execution && !r.aborted) {
+      r.aborted = true;
+      ++aborted_;
+    }
+  });
+  bus.Subscribe<sim::RequestRetried>([this](const sim::RequestRetried& e) {
+    ++record(e.rid).retries;
+    ++retries_total_;
+  });
+  bus.Subscribe<sim::RequestAbandoned>(
+      [this](const sim::RequestAbandoned& e) {
+        ++abandoned_;
+        RequestRecord& r = record(e.rid);
+        if (!r.aborted) {
+          r.aborted = true;
+          ++aborted_;
+        }
+      });
+  bus.Subscribe<sim::InstanceFailed>(
+      [this](const sim::InstanceFailed&) { ++instances_failed_; });
+  bus.Subscribe<sim::SliceFailed>(
+      [this](const sim::SliceFailed&) { ++slices_failed_; });
+  bus.Subscribe<sim::SliceRepaired>(
+      [this](const sim::SliceRepaired&) { ++slices_repaired_; });
 }
 
 RequestId Recorder::NewRequest(FunctionId fn, SimTime arrival,
@@ -239,6 +268,23 @@ std::size_t Recorder::CompletedBy(SimTime t) const {
 double Recorder::WindowedThroughput(SimTime window) const {
   if (window <= 0) return 0.0;
   return static_cast<double>(CompletedBy(window)) / ToSeconds(window);
+}
+
+std::size_t Recorder::RecoveredRequests() const {
+  std::size_t n = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.done() && r.retries > 0) ++n;
+  }
+  return n;
+}
+
+double Recorder::WindowedGoodput(SimTime window) const {
+  if (window <= 0) return 0.0;
+  std::size_t n = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.Goodput() && r.completion <= window) ++n;
+  }
+  return static_cast<double>(n) / ToSeconds(window);
 }
 
 SimDuration Recorder::MigTime() const {

@@ -41,9 +41,16 @@ struct RequestRecord {
   SimDuration exec_time = 0;      // on-slice compute
   SimDuration transfer_time = 0;  // inter-stage hops
 
+  int retries = 0;        // instance failures this request survived
+  bool timed_out = false;  // enforcement timeout fired (either flavour)
+  bool aborted = false;    // will never complete (timeout/abandonment)
+
   bool done() const { return completion >= 0; }
   SimDuration Latency() const { return done() ? completion - arrival : -1; }
   bool SloHit() const { return done() && completion <= deadline; }
+  /// Completed within SLO and not disqualified by a timeout — the unit of
+  /// the availability story under faults.
+  bool Goodput() const { return SloHit() && !timed_out; }
 };
 
 class Recorder {
@@ -66,7 +73,24 @@ class Recorder {
 
   std::size_t total_requests() const { return records_.size(); }
   std::size_t completed_requests() const { return completed_; }
+  /// Requests that reached a terminal state: completed plus aborted
+  /// (timed out mid-queue or abandoned by the retry policy). The harness
+  /// drains on this — identical to completed_requests() without faults.
+  std::size_t finished_requests() const { return completed_ + aborted_; }
   const std::vector<RequestRecord>& records() const { return records_; }
+
+  // --- availability under faults ------------------------------------------
+  std::size_t timeouts() const { return timeouts_; }
+  std::size_t retries_total() const { return retries_total_; }
+  std::size_t abandoned_requests() const { return abandoned_; }
+  std::size_t aborted_requests() const { return aborted_; }
+  std::size_t instances_failed() const { return instances_failed_; }
+  std::size_t slices_failed() const { return slices_failed_; }
+  std::size_t slices_repaired() const { return slices_repaired_; }
+  /// Completed requests that survived at least one instance failure.
+  std::size_t RecoveredRequests() const;
+  /// Goodput (SLO-hit, non-timed-out completions) per second of [0, window].
+  double WindowedGoodput(SimTime window) const;
 
   // --- slice occupancy ---------------------------------------------------
   void SliceBound(SliceId s, SimTime now);
@@ -174,6 +198,13 @@ class Recorder {
 
   std::vector<RequestRecord> records_;
   std::size_t completed_ = 0;
+  std::size_t timeouts_ = 0;
+  std::size_t retries_total_ = 0;
+  std::size_t abandoned_ = 0;
+  std::size_t aborted_ = 0;
+  std::size_t instances_failed_ = 0;
+  std::size_t slices_failed_ = 0;
+  std::size_t slices_repaired_ = 0;
 
   const gpu::Cluster* cluster_ = nullptr;
   sim::EventBus* bus_ = nullptr;

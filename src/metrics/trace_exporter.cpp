@@ -94,7 +94,8 @@ void TraceExporter::SubscribeTo(sim::EventBus& bus) {
                           e.at - it->second.since, kPidInstances, e.iid.value,
                           "{\"fn\":" + std::to_string(e.fn.value) + "}"});
         }
-        if (e.to == sim::InstancePhase::kRetired) {
+        if (e.to == sim::InstancePhase::kRetired ||
+            e.to == sim::InstancePhase::kFailed) {
           open_instance_states_.erase(e.iid);
         } else {
           open_instance_states_[e.iid] = OpenSpan{e.at, Name(e.to)};
@@ -135,6 +136,52 @@ void TraceExporter::SubscribeTo(sim::EventBus& bus) {
       [this](const sim::PartitionReconfigured& e) {
         Emit(TraceEvent{"repartition " + e.partition, "gpu", 'X', e.at,
                         e.blackout, kPidGpus, e.gpu.value, ""});
+      });
+
+  // Fault & recovery markers.
+  bus.Subscribe<sim::InstanceFailed>([this](const sim::InstanceFailed& e) {
+    Emit(TraceEvent{std::string("failed: ") + Name(e.cause), "fault", 'i',
+                    e.at, 0, kPidInstances, e.iid.value,
+                    "{\"fn\":" + std::to_string(e.fn.value) + "}"});
+  });
+  bus.Subscribe<sim::SliceFailed>([this](const sim::SliceFailed& e) {
+    Emit(TraceEvent{"slice failed", "fault", 'X', e.at, e.repair, kPidSlices,
+                    e.slice.value, ""});
+  });
+  bus.Subscribe<sim::SliceRepaired>([this](const sim::SliceRepaired& e) {
+    Emit(TraceEvent{"repaired", "fault", 'i', e.at, 0, kPidSlices,
+                    e.slice.value, ""});
+  });
+  bus.Subscribe<sim::RequestRetried>([this](const sim::RequestRetried& e) {
+    Emit(TraceEvent{e.resume ? "retry (resume)" : "retry", "fault", 'i',
+                    e.at, 0, kPidRequests, e.fn.value,
+                    "{\"rid\":" + std::to_string(e.rid.value) +
+                        ",\"attempt\":" + std::to_string(e.attempt) + "}"});
+  });
+  // Terminal request outcomes close the request span like a completion.
+  bus.Subscribe<sim::RequestTimedOut>([this](const sim::RequestTimedOut& e) {
+    if (e.mid_execution) return;  // span closes at its real completion
+    auto it = open_requests_.find(e.rid);
+    if (it == open_requests_.end()) return;
+    Emit(TraceEvent{FunctionLabel(e.fn) + " (timeout)", "request", 'X',
+                    it->second.since, e.at - it->second.since, kPidRequests,
+                    e.fn.value,
+                    "{\"rid\":" + std::to_string(e.rid.value) + "}"});
+    open_requests_.erase(it);
+    request_fn_.erase(e.rid);
+  });
+  bus.Subscribe<sim::RequestAbandoned>(
+      [this](const sim::RequestAbandoned& e) {
+        auto it = open_requests_.find(e.rid);
+        if (it == open_requests_.end()) return;
+        Emit(TraceEvent{FunctionLabel(e.fn) + " (abandoned)", "request", 'X',
+                        it->second.since, e.at - it->second.since,
+                        kPidRequests, e.fn.value,
+                        "{\"rid\":" + std::to_string(e.rid.value) +
+                            ",\"attempts\":" + std::to_string(e.attempts) +
+                            "}"});
+        open_requests_.erase(it);
+        request_fn_.erase(e.rid);
       });
 }
 

@@ -67,6 +67,24 @@ struct PlatformConfig {
   /// RNG seed for platform-side randomness (jitter).
   std::uint64_t seed = 42;
 
+  /// Default retry behaviour when the bundle supplies no RetryPolicy:
+  /// bounded retries with exponential backoff.
+  struct RetryConfig {
+    int max_retries = 2;
+    SimDuration base_backoff = Millis(50);
+    double backoff_multiplier = 2.0;
+  };
+  RetryConfig retry;
+
+  /// Per-request enforcement timeout = request_timeout_scale × SLO, armed
+  /// at submission. 0 disables enforcement (the default — timers would
+  /// otherwise perturb the event order of fault-free runs).
+  double request_timeout_scale = 0.0;
+
+  /// After an instance crash, relaunch a replacement on free slices of the
+  /// same node with the same stage profiles (best effort).
+  bool respawn_on_failure = true;
+
   model::TransferCostModel transfer;
   model::LoadCostModel load;
 };

@@ -21,6 +21,8 @@ sim::InstancePhase Phase(InstanceState s) {
       return sim::InstancePhase::kDraining;
     case InstanceState::kRetired:
       return sim::InstancePhase::kRetired;
+    case InstanceState::kFailed:
+      return sim::InstancePhase::kFailed;
   }
   return sim::InstancePhase::kRetired;
 }
@@ -37,6 +39,8 @@ const char* Name(InstanceState s) {
       return "draining";
     case InstanceState::kRetired:
       return "retired";
+    case InstanceState::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -75,7 +79,10 @@ void Instance::Launch(SimDuration load_time) {
     return;
   }
   sim_.At(ready_at_, [this] {
-    if (state_ == InstanceState::kRetired) return;
+    if (state_ == InstanceState::kRetired ||
+        state_ == InstanceState::kFailed) {
+      return;
+    }
     if (state_ == InstanceState::kLoading) SetState(InstanceState::kReady);
     // Also kick stages when draining: requests admitted before the drain
     // must still be served.
@@ -92,12 +99,72 @@ void Instance::NoteActiveTransition(bool active_now) {
 }
 
 void Instance::Enqueue(RequestId rid, double jitter) {
+  EnqueueAt(0, rid, jitter);
+}
+
+void Instance::EnqueueAt(std::size_t stage_idx, RequestId rid, double jitter) {
   FFS_CHECK_MSG(CanAdmit(), "enqueue on non-admitting instance");
   FFS_CHECK(jitter > 0.0);
+  FFS_CHECK(stage_idx < stages_.size());
   ++outstanding_;
   last_used_ = sim_.Now();
-  stages_.front().queue.push_back(PendingItem{rid, jitter, sim_.Now()});
-  TryStart(0);
+  stages_[stage_idx].queue.push_back(PendingItem{rid, jitter, sim_.Now()});
+  TryStart(stage_idx);
+}
+
+std::vector<Instance::FailedWork> Instance::Fail() {
+  FFS_CHECK_MSG(state_ != InstanceState::kRetired &&
+                    state_ != InstanceState::kFailed,
+                "Fail() on an already-dead instance");
+  const SimTime now = sim_.Now();
+  std::vector<FailedWork> victims;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    Stage& st = stages_[i];
+    for (const PendingItem& item : st.in_service) {
+      victims.push_back(FailedWork{item.rid, item.jitter,
+                                   static_cast<int>(i)});
+    }
+    st.in_service.clear();
+    for (const PendingItem& item : st.queue) {
+      victims.push_back(FailedWork{item.rid, item.jitter,
+                                   static_cast<int>(i)});
+    }
+    st.queue.clear();
+    if (st.busy) {
+      st.busy = false;
+      sim_.bus().Publish(sim::SliceBusyEnd{st.binding.slice, id_, now});
+    }
+  }
+  // A mid-hop request completed the previous stage; it resumes at the next.
+  for (const TransferItem& t : in_transfer_) {
+    victims.push_back(FailedWork{t.item.rid, t.item.jitter,
+                                 static_cast<int>(t.next_stage)});
+  }
+  in_transfer_.clear();
+  if (busy_stages_ > 0) {
+    busy_stages_ = 0;
+    NoteActiveTransition(false);
+  }
+  outstanding_ = 0;
+  SetState(InstanceState::kFailed);
+  return victims;
+}
+
+bool Instance::Abort(RequestId rid) {
+  if (state_ == InstanceState::kRetired || state_ == InstanceState::kFailed) {
+    return false;
+  }
+  for (Stage& st : stages_) {
+    for (auto it = st.queue.begin(); it != st.queue.end(); ++it) {
+      if (it->rid == rid) {
+        st.queue.erase(it);
+        FFS_CHECK(outstanding_ > 0);
+        --outstanding_;
+        return true;
+      }
+    }
+  }
+  return false;  // executing or mid-transfer: past the point of no return
 }
 
 void Instance::BeginDrain() {
@@ -146,7 +213,9 @@ void Instance::TryStart(std::size_t stage_idx) {
   Stage& st = stages_[stage_idx];
   if (st.busy || st.queue.empty()) return;
   if (sim_.Now() < ready_at_) return;  // weights still loading
-  if (state_ == InstanceState::kRetired) return;
+  if (state_ == InstanceState::kRetired || state_ == InstanceState::kFailed) {
+    return;
+  }
   if (max_batch_ <= 1) {
     StartPass(stage_idx);
     return;
@@ -155,11 +224,14 @@ void Instance::TryStart(std::size_t stage_idx) {
   if (st.pass_scheduled) return;
   st.pass_scheduled = true;
   sim_.After(0, [this, stage_idx] {
+    if (state_ == InstanceState::kRetired ||
+        state_ == InstanceState::kFailed) {
+      return;
+    }
     stages_[stage_idx].pass_scheduled = false;
     Stage& s = stages_[stage_idx];
     if (s.busy || s.queue.empty()) return;
     if (sim_.Now() < ready_at_) return;
-    if (state_ == InstanceState::kRetired) return;
     StartPass(stage_idx);
   });
 }
@@ -208,12 +280,16 @@ void Instance::StartPass(std::size_t stage_idx) {
   }
 
   st.busy = true;
+  st.in_service = batch;
   if (busy_stages_++ == 0) NoteActiveTransition(true);
   sim_.bus().Publish(sim::SliceBusyBegin{st.binding.slice, id_, now});
   sim_.After(service, [this, stage_idx, batch = std::move(batch)] {
+    // A crash mid-pass already harvested this batch as failed work.
+    if (state_ == InstanceState::kFailed) return;
     Stage& s = stages_[stage_idx];
     sim_.bus().Publish(sim::SliceBusyEnd{s.binding.slice, id_, sim_.Now()});
     s.busy = false;
+    s.in_service.clear();
     if (--busy_stages_ == 0) NoteActiveTransition(false);
     OnStageDone(stage_idx, batch);
     TryStart(stage_idx);
@@ -244,8 +320,22 @@ void Instance::OnStageDone(std::size_t stage_idx,
     }
   }
   const std::size_t next = stage_idx + 1;
+  for (const PendingItem& item : batch) {
+    in_transfer_.push_back(TransferItem{item, next});
+  }
   sim_.After(hop, [this, next, batch] {
+    // A crash mid-hop already harvested these items from in_transfer_.
+    if (state_ == InstanceState::kFailed ||
+        state_ == InstanceState::kRetired) {
+      return;
+    }
     for (const PendingItem& item : batch) {
+      for (auto it = in_transfer_.begin(); it != in_transfer_.end(); ++it) {
+        if (it->item.rid == item.rid && it->next_stage == next) {
+          in_transfer_.erase(it);
+          break;
+        }
+      }
       stages_[next].queue.push_back(
           PendingItem{item.rid, item.jitter, sim_.Now()});
     }

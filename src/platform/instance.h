@@ -25,6 +25,7 @@ enum class InstanceState {
   kReady,     // serving
   kDraining,  // finishing in-flight requests; no new admissions
   kRetired,   // slices released
+  kFailed,    // crashed; in-flight work was lost (terminal, like kRetired)
 };
 
 const char* Name(InstanceState s);
@@ -65,11 +66,38 @@ class Instance {
   /// kReady states.
   void Enqueue(RequestId rid, double jitter);
 
+  /// Admit a request directly into stage `stage_idx`'s queue — the
+  /// recovery path for a request whose earlier stages already completed on
+  /// an instance that then failed: the survivor re-runs only the failed
+  /// stage onward instead of replaying the whole pipeline. Requires an
+  /// identically-shaped plan (same stage count); the caller checks.
+  void EnqueueAt(std::size_t stage_idx, RequestId rid, double jitter);
+
   /// Stop admitting; the owner retires the instance once Idle().
   void BeginDrain();
 
   /// Mark retired (owner releases the slices).
   void MarkRetired();
+
+  /// Work lost when an instance crashes: the request, its jitter, and the
+  /// pipeline stage it had reached (completed stages stay completed).
+  struct FailedWork {
+    RequestId rid;
+    double jitter = 1.0;
+    int stage = 0;
+  };
+
+  /// Crash the instance: every queued, in-service, and in-transfer request
+  /// is lost and returned for the owner to retry or abandon; busy slices
+  /// publish their SliceBusyEnd at the crash instant; the state machine
+  /// moves to the terminal kFailed. Callbacks already scheduled by this
+  /// instance become no-ops. The owner releases the slices afterwards.
+  std::vector<FailedWork> Fail();
+
+  /// Cancel a request that is still queued (any stage) and not yet
+  /// executing or in transfer; false when it is past the point of no
+  /// return (mid-execution) or unknown to this instance.
+  bool Abort(RequestId rid);
 
   bool Idle() const { return outstanding_ == 0; }
   int outstanding() const { return outstanding_; }
@@ -115,8 +143,13 @@ class Instance {
   struct Stage {
     core::StageBinding binding;
     std::deque<PendingItem> queue;
+    std::vector<PendingItem> in_service;  // the batch currently executing
     bool busy = false;
     bool pass_scheduled = false;  // batching: a pass-start event is queued
+  };
+  struct TransferItem {
+    PendingItem item;
+    std::size_t next_stage;
   };
 
   /// Schedule a service pass. With batching enabled the pass starts one
@@ -149,6 +182,8 @@ class Instance {
   SimTime active_since_ = 0;
 
   std::vector<Stage> stages_;
+  // Requests mid-hop between stages (lost on failure like queued work).
+  std::vector<TransferItem> in_transfer_;
 };
 
 }  // namespace fluidfaas::platform

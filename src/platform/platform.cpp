@@ -21,6 +21,7 @@ PlatformCore::PlatformCore(sim::Simulator& sim, gpu::Cluster& cluster,
       routing_(std::move(bundle.routing)),
       scaling_(std::move(bundle.scaling)),
       keepalive_(std::move(bundle.keepalive)),
+      retry_(std::move(bundle.retry)),
       counters_(std::move(bundle.counters)) {
   for (std::size_t i = 0; i < functions_.size(); ++i) {
     FFS_CHECK_MSG(functions_[i].id ==
@@ -30,9 +31,46 @@ PlatformCore::PlatformCore(sim::Simulator& sim, gpu::Cluster& cluster,
   FFS_CHECK_MSG(routing_ != nullptr, "bundle needs a RoutingPolicy");
   FFS_CHECK_MSG(scaling_ != nullptr, "bundle needs a ScalingPolicy");
   if (!keepalive_) keepalive_ = std::make_unique<NullKeepAlive>();
+  if (!retry_) {
+    retry_ = std::make_unique<BoundedRetryPolicy>(
+        config_.retry.max_retries, config_.retry.base_backoff,
+        config_.retry.backoff_multiplier);
+  }
   routing_->Attach(*this);
   scaling_->Attach(*this);
   keepalive_->Attach(*this);
+
+  // Fault-command intake (sim/events.h). Without a FaultInjector these
+  // subscriptions never fire; commands naming dead entities are dropped so
+  // the injector's RNG stream stays independent of platform state.
+  fault_subs_.push_back(bus().SubscribeScoped<sim::InstanceCrashRequested>(
+      [this](const sim::InstanceCrashRequested& e) {
+        if (Instance* inst = FindInstance(e.iid)) {
+          FailInstance(inst, sim::FaultKind::kInstanceCrash);
+        }
+      }));
+  fault_subs_.push_back(bus().SubscribeScoped<sim::SliceFailureRequested>(
+      [this](const sim::SliceFailureRequested& e) {
+        if (cluster_.IsDead(e.slice) || cluster_.IsFailed(e.slice)) return;
+        const gpu::MigSlice& s = cluster_.slice(e.slice);
+        if (s.free()) {
+          FailSlice(e.slice, e.repair);
+          return;
+        }
+        Instance* inst = FindInstance(s.occupant);
+        // Sentinel occupants (repartition blackout) have no instance to
+        // crash; the injection lands on the reconfiguring GPU and is lost.
+        if (inst == nullptr) return;
+        FailInstance(inst, sim::FaultKind::kSliceFailure, e.slice, e.repair);
+      }));
+  fault_subs_.push_back(bus().SubscribeScoped<sim::ColdStartFailureArmed>(
+      [this](const sim::ColdStartFailureArmed&) {
+        ++pending_cold_failures_;
+      }));
+  fault_subs_.push_back(bus().SubscribeScoped<sim::SlowStartArmed>(
+      [this](const sim::SlowStartArmed& e) {
+        pending_slow_factors_.push_back(e.factor);
+      }));
 }
 
 PlatformCore::~PlatformCore() = default;
@@ -93,6 +131,13 @@ RequestId PlatformCore::Submit(FunctionId fn) {
   bus().Publish(sim::RequestSubmitted{rid, fn, now, deadline});
   meta_.emplace(rid, ReqMeta{fn, deadline, SampleJitter()});
   arrivals_[fn].count_this_tick += 1;
+  if (config_.request_timeout_scale > 0.0) {
+    const SimTime expire =
+        now + static_cast<SimDuration>(
+                  std::llround(config_.request_timeout_scale *
+                               static_cast<double>(spec.slo)));
+    sim_.At(expire, [this, rid] { ExpireRequest(rid); });
+  }
   if (!routing_->Route(*this, rid, fn)) MakePending(rid, fn);
   return rid;
 }
@@ -121,7 +166,10 @@ std::vector<Instance*> PlatformCore::InstancesOf(FunctionId fn) const {
   auto it = by_function_.find(fn);
   if (it == by_function_.end()) return out;
   for (Instance* inst : it->second) {
-    if (inst->state() != InstanceState::kRetired) out.push_back(inst);
+    if (inst->state() != InstanceState::kRetired &&
+        inst->state() != InstanceState::kFailed) {
+      out.push_back(inst);
+    }
   }
   return out;
 }
@@ -129,7 +177,10 @@ std::vector<Instance*> PlatformCore::InstancesOf(FunctionId fn) const {
 std::vector<Instance*> PlatformCore::AllInstances() const {
   std::vector<Instance*> out;
   for (const auto& inst : instances_) {
-    if (inst->state() != InstanceState::kRetired) out.push_back(inst.get());
+    if (inst->state() != InstanceState::kRetired &&
+        inst->state() != InstanceState::kFailed) {
+      out.push_back(inst.get());
+    }
   }
   return out;
 }
@@ -148,9 +199,16 @@ Instance* PlatformCore::LaunchInstance(const FunctionSpec& fn,
   for (const core::StageBinding& s : plan.stages) {
     max_stage_weights = std::max(max_stage_weights, s.plan.weights);
   }
-  const SimDuration load =
-      extra_load_delay + (warm ? config_.load.WarmLoad(max_stage_weights)
-                               : config_.load.ColdLoad(max_stage_weights));
+  SimDuration weight_load = warm ? config_.load.WarmLoad(max_stage_weights)
+                                 : config_.load.ColdLoad(max_stage_weights);
+  if (!pending_slow_factors_.empty()) {
+    // An armed slow-start straggler hits the next launch.
+    const double factor = pending_slow_factors_.front();
+    pending_slow_factors_.pop_front();
+    weight_load = static_cast<SimDuration>(
+        std::llround(factor * static_cast<double>(weight_load)));
+  }
+  const SimDuration load = extra_load_delay + weight_load;
 
   for (const core::StageBinding& s : plan.stages) {
     cluster_.Bind(s.slice, iid);
@@ -165,6 +223,16 @@ Instance* PlatformCore::LaunchInstance(const FunctionSpec& fn,
   by_function_[fn.id].push_back(raw);
   raw->SetBatching(config_.max_batch, config_.batch_marginal_cost);
   raw->Launch(load);
+  if (!warm && pending_cold_failures_ > 0 && load > 0) {
+    // An armed cold-start failure dooms this launch: the instance crashes
+    // the moment its load completes (the load time is wasted).
+    --pending_cold_failures_;
+    sim_.At(now + load, [this, iid] {
+      if (Instance* doomed = FindInstance(iid)) {
+        FailInstance(doomed, sim::FaultKind::kColdStartFailure);
+      }
+    });
+  }
   FFS_LOG_DEBUG("platform") << name() << " launch " << raw->Describe()
                             << (warm ? " (warm " : " (cold ")
                             << ToMillis(load) << "ms load)";
@@ -264,6 +332,181 @@ void PlatformCore::HandleCompletion(RequestId rid) {
   meta_.erase(it);
   scaling_->OnCompleted(*this, rid, fn);
   DispatchPending();
+}
+
+Instance* PlatformCore::FindInstance(InstanceId iid) {
+  if (!iid.valid()) return nullptr;
+  const auto idx = static_cast<std::size_t>(iid.value);
+  // Sentinel occupants (e.g. repartition blackout markers) fall outside the
+  // dense id range and resolve to null.
+  if (idx >= instances_.size()) return nullptr;
+  Instance* inst = instances_[idx].get();
+  FFS_CHECK(inst->id() == iid);
+  if (inst->state() == InstanceState::kRetired ||
+      inst->state() == InstanceState::kFailed) {
+    return nullptr;
+  }
+  return inst;
+}
+
+void PlatformCore::FailInstance(Instance* inst, sim::FaultKind cause,
+                                SliceId failed_slice, SimDuration repair) {
+  if (inst->state() == InstanceState::kRetired ||
+      inst->state() == InstanceState::kFailed) {
+    return;
+  }
+  const SimTime now = sim_.Now();
+  const FunctionSpec& spec = function(inst->function());
+  // Copy the plan before the crash: respawn rebinds the same stage shapes.
+  const core::PipelinePlan plan = inst->plan();
+  const std::vector<Instance::FailedWork> victims = inst->Fail();
+  bus().Publish(sim::InstanceFailed{inst->id(), inst->function(), cause, now});
+  FFS_LOG_DEBUG("platform") << name() << " fail " << inst->Describe()
+                            << " cause " << sim::Name(cause) << " ("
+                            << victims.size() << " victim(s))";
+  for (const core::StageBinding& s : plan.stages) {
+    cluster_.Release(s.slice, inst->id());
+    bus().Publish(sim::SliceReleased{s.slice, inst->id(), now});
+  }
+  // No TouchWarm: a crash says nothing about the CPU-resident weight copy,
+  // and the retire path's refresh would make fault runs look warmer.
+  if (failed_slice.valid()) FailSlice(failed_slice, repair);
+  if (config_.respawn_on_failure &&
+      cause != sim::FaultKind::kColdStartFailure) {
+    TryRespawn(spec, plan);
+  }
+  for (const Instance::FailedWork& w : victims) {
+    HandleFailedRequest(w.rid, w.stage, plan.num_stages());
+  }
+  DispatchPending();
+}
+
+void PlatformCore::FailSlice(SliceId sid, SimDuration repair) {
+  cluster_.MarkFailed(sid);
+  const SimTime now = sim_.Now();
+  bus().Publish(sim::SliceFailed{sid, now, repair});
+  sim_.After(std::max<SimDuration>(repair, Millis(1)), [this, sid] {
+    if (cluster_.IsDead(sid)) return;  // repartitioned away meanwhile
+    cluster_.Repair(sid);
+    bus().Publish(sim::SliceRepaired{sid, sim_.Now()});
+    DispatchPending();
+  });
+}
+
+void PlatformCore::HandleFailedRequest(RequestId rid, int stage,
+                                       int num_stages) {
+  auto it = meta_.find(rid);
+  if (it == meta_.end()) return;
+  ReqMeta& m = it->second;
+  const FunctionId fn = m.fn;
+  if (m.timed_out) {
+    // Already past its enforcement timeout; a retry could never be goodput.
+    bus().Publish(sim::RequestAbandoned{rid, fn, m.attempts, sim_.Now()});
+    meta_.erase(it);
+    return;
+  }
+  m.attempts += 1;
+  const RetryPolicy::Decision d = retry_->OnFailure(*this, rid, fn,
+                                                    m.attempts);
+  if (!d.retry) {
+    bus().Publish(sim::RequestAbandoned{rid, fn, m.attempts, sim_.Now()});
+    meta_.erase(it);
+    return;
+  }
+  sim_.After(std::max<SimDuration>(d.backoff, 0),
+             [this, rid, fn, stage, num_stages] {
+               Resubmit(rid, fn, stage, num_stages);
+             });
+}
+
+void PlatformCore::Resubmit(RequestId rid, FunctionId fn, int stage,
+                            int num_stages) {
+  auto it = meta_.find(rid);
+  if (it == meta_.end()) return;  // expired during the backoff
+  const SimTime now = sim_.Now();
+  bool resumed = false;
+  if (stage > 0) {
+    // The request already completed stages [0, stage); a surviving instance
+    // with the same pipeline shape can pick it up at the failed stage
+    // instead of replaying the finished work.
+    for (Instance* inst : InstancesOf(fn)) {
+      if (!inst->CanAdmit()) continue;
+      if (inst->plan().num_stages() != num_stages) continue;
+      inst->EnqueueAt(static_cast<std::size_t>(stage), rid,
+                      it->second.jitter);
+      resumed = true;
+      break;
+    }
+  }
+  bus().Publish(sim::RequestRetried{rid, fn, it->second.attempts, resumed,
+                                    now});
+  if (resumed) return;
+  if (!routing_->Route(*this, rid, fn)) MakePending(rid, fn);
+}
+
+void PlatformCore::TryRespawn(const FunctionSpec& spec,
+                              const core::PipelinePlan& old) {
+  const std::vector<SliceId> free = cluster_.FreeSlicesOnNode(old.node);
+  std::vector<bool> taken(free.size(), false);
+  core::PipelinePlan plan;
+  plan.node = old.node;
+  for (const core::StageBinding& s : old.stages) {
+    bool bound = false;
+    for (std::size_t i = 0; i < free.size(); ++i) {
+      if (taken[i]) continue;
+      if (cluster_.slice(free[i]).profile() != s.profile) continue;
+      taken[i] = true;
+      core::StageBinding nb = s;
+      nb.slice = free[i];
+      plan.stages.push_back(nb);
+      bound = true;
+      break;
+    }
+    if (!bound) return;  // node lacks a same-profile slice; policies rebuild
+  }
+  LaunchInstance(spec, std::move(plan), IsWarm(spec.id));
+}
+
+void PlatformCore::ExpireRequest(RequestId rid) {
+  auto it = meta_.find(rid);
+  if (it == meta_.end()) return;  // completed or abandoned in time
+  const FunctionId fn = it->second.fn;
+  const SimTime now = sim_.Now();
+  // Still in the pending set: cancel outright.
+  for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+    if (p->second.first == rid) {
+      pending_.erase(p);
+      bus().Publish(sim::RequestTimedOut{rid, fn, false, now});
+      meta_.erase(it);
+      return;
+    }
+  }
+  // Queued on an instance but not yet executing: abort it there.
+  for (Instance* inst : InstancesOf(fn)) {
+    if (inst->Abort(rid)) {
+      bus().Publish(sim::RequestTimedOut{rid, fn, false, now});
+      meta_.erase(it);
+      DispatchPending();
+      return;
+    }
+  }
+  // Mid-execution (or mid-transfer / mid-retry-backoff): the work finishes
+  // but no longer counts as goodput.
+  it->second.timed_out = true;
+  bus().Publish(sim::RequestTimedOut{rid, fn, true, now});
+}
+
+RetryPolicy::Decision BoundedRetryPolicy::OnFailure(PlatformCore& core,
+                                                    RequestId rid,
+                                                    FunctionId fn,
+                                                    int attempt) {
+  (void)core;
+  (void)rid;
+  (void)fn;
+  if (attempt > max_retries_) return Decision{};
+  const double scale = std::pow(multiplier_, attempt - 1);
+  return Decision{true, static_cast<SimDuration>(std::llround(
+                            scale * static_cast<double>(base_backoff_)))};
 }
 
 void FixedIdleKeepAlive::Tick(PlatformCore& core) {

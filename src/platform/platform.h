@@ -14,6 +14,7 @@
 // subclassed; see platform/registry.h for how named bundles are resolved.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +28,7 @@
 #include "platform/function.h"
 #include "platform/instance.h"
 #include "platform/policy.h"
+#include "sim/events.h"
 #include "sim/simulator.h"
 
 namespace fluidfaas::platform {
@@ -125,6 +127,20 @@ class PlatformCore {
   /// SLO deadline of an outstanding request.
   SimTime DeadlineOf(RequestId rid) const;
 
+  // -- failure recovery ------------------------------------------------------
+  //
+  // The core subscribes to the sim::FaultInjector's command events
+  // (InstanceCrashRequested, SliceFailureRequested, ColdStartFailureArmed,
+  // SlowStartArmed) at construction; with no injector running the
+  // subscriptions are inert and the fault path costs nothing.
+
+  /// Crash an instance: harvest its in-flight work, release its slices,
+  /// optionally fail `failed_slice` for `repair` of simulated time, respawn
+  /// a replacement on the same node when configured, then run each victim
+  /// request through the RetryPolicy.
+  void FailInstance(Instance* inst, sim::FaultKind cause,
+                    SliceId failed_slice = SliceId(), SimDuration repair = 0);
+
  protected:
   std::vector<FunctionSpec> functions_;
 
@@ -133,12 +149,34 @@ class PlatformCore {
     FunctionId fn;
     SimTime deadline = 0;
     double jitter = 1.0;
+    int attempts = 0;     // instance failures survived so far
+    bool timed_out = false;  // enforcement timeout fired mid-execution
   };
 
   void HandleCompletion(RequestId rid);
 
   /// Per-request service-time jitter factor.
   double SampleJitter();
+
+  /// Instance by id, or null for retired/failed/sentinel ids.
+  Instance* FindInstance(InstanceId iid);
+
+  /// Run one crash victim through the retry policy.
+  void HandleFailedRequest(RequestId rid, int stage, int num_stages);
+
+  /// Re-admit a retried request after its backoff. `stage` > 0 resumes a
+  /// pipeline at the failed stage when a same-shape instance can admit it.
+  void Resubmit(RequestId rid, FunctionId fn, int stage, int num_stages);
+
+  /// Best-effort replacement after a crash: same node, same stage profiles.
+  void TryRespawn(const FunctionSpec& spec, const core::PipelinePlan& old);
+
+  /// Mark `sid` failed now and schedule its repair.
+  void FailSlice(SliceId sid, SimDuration repair);
+
+  /// Enforcement-timeout expiry for `rid` (armed at Submit when
+  /// config.request_timeout_scale > 0).
+  void ExpireRequest(RequestId rid);
 
   sim::Simulator& sim_;
   gpu::Cluster& cluster_;
@@ -149,7 +187,13 @@ class PlatformCore {
   std::unique_ptr<RoutingPolicy> routing_;
   std::unique_ptr<ScalingPolicy> scaling_;
   std::unique_ptr<KeepAlivePolicy> keepalive_;
+  std::unique_ptr<RetryPolicy> retry_;
   std::function<SchedulerCounters()> counters_;
+
+  // Fault-command subscriptions (auto-unsubscribed at destruction).
+  std::vector<sim::EventBus::Subscription> fault_subs_;
+  int pending_cold_failures_ = 0;          // armed cold-start failures
+  std::deque<double> pending_slow_factors_;  // armed slow-start multipliers
 
   std::unique_ptr<sim::PeriodicTask> autoscale_;
 

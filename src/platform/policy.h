@@ -12,6 +12,9 @@
 //                     completion hook for per-request bookkeeping.
 //   KeepAlivePolicy — instance lifetime after idling. Runs every tick
 //                     directly after the ScalingPolicy.
+//   RetryPolicy     — what happens to a request whose instance failed:
+//                     retry (after a backoff) or abandon. Consulted by the
+//                     core's failure-recovery path.
 //
 // Policies receive the core by reference on every call and must not assume
 // exclusive ownership; a routing and a scaling policy of one scheduler
@@ -88,6 +91,49 @@ class KeepAlivePolicy {
 /// business (FluidFaaS manages it via the Fig. 8 transitions).
 class NullKeepAlive final : public KeepAlivePolicy {};
 
+class RetryPolicy {
+ public:
+  struct Decision {
+    bool retry = false;
+    SimDuration backoff = 0;  // resubmit delay when retry is true
+  };
+
+  virtual ~RetryPolicy() = default;
+
+  /// A request's instance failed; `attempt` counts failures so far
+  /// (1 on the first failure). Requests already past their enforcement
+  /// timeout are abandoned before the policy is consulted.
+  virtual Decision OnFailure(PlatformCore& core, RequestId rid, FunctionId fn,
+                             int attempt) = 0;
+};
+
+/// Retry up to `max_retries` times with exponential backoff
+/// (base × multiplier^(attempt−1)).
+class BoundedRetryPolicy final : public RetryPolicy {
+ public:
+  BoundedRetryPolicy(int max_retries, SimDuration base_backoff,
+                     double multiplier)
+      : max_retries_(max_retries),
+        base_backoff_(base_backoff),
+        multiplier_(multiplier) {}
+
+  Decision OnFailure(PlatformCore& core, RequestId rid, FunctionId fn,
+                     int attempt) override;
+
+ private:
+  int max_retries_;
+  SimDuration base_backoff_;
+  double multiplier_;
+};
+
+/// Fail fast: every failed request is abandoned immediately.
+class NoRetryPolicy final : public RetryPolicy {
+ public:
+  Decision OnFailure(PlatformCore&, RequestId, FunctionId, int) override {
+    return Decision{};
+  }
+};
+
 /// The exclusive-baseline policy: retire any instance that has sat idle
 /// for config().exclusive_keepalive (120 s default), scanning instances in
 /// creation order.
@@ -96,14 +142,16 @@ class FixedIdleKeepAlive final : public KeepAlivePolicy {
   void Tick(PlatformCore& core) override;
 };
 
-/// A named scheduler: the three policies plus optional introspection.
-/// `keepalive` may be null (treated as NullKeepAlive); `counters` may be
-/// null (all-zero counters).
+/// A named scheduler: the policies plus optional introspection.
+/// `keepalive` may be null (treated as NullKeepAlive); `retry` may be null
+/// (the core installs a BoundedRetryPolicy from PlatformConfig::retry);
+/// `counters` may be null (all-zero counters).
 struct PolicyBundle {
   std::string name;
   std::unique_ptr<RoutingPolicy> routing;
   std::unique_ptr<ScalingPolicy> scaling;
   std::unique_ptr<KeepAlivePolicy> keepalive;
+  std::unique_ptr<RetryPolicy> retry;
   std::function<SchedulerCounters()> counters;
 };
 

@@ -2,9 +2,17 @@
 //
 // Dispatch is synchronous and deterministic: Publish() invokes the handlers
 // for the event's exact type, in subscription order, before returning. The
-// bus does no buffering and allocates nothing per publish, so observers are
-// zero-perturbation: a run with N subscribers executes the same simulated
-// schedule as a run with none.
+// bus does no buffering, so observers are zero-perturbation: a run with N
+// subscribers executes the same simulated schedule as a run with none.
+//
+// Subscriptions are cancellable: Subscribe() returns a SubscriptionId that
+// can be passed to Unsubscribe(), and SubscribeScoped() wraps that in an
+// RAII handle so transient observers (fault injectors, trace exporters,
+// per-run platform hooks) detach when they go out of scope. Unsubscribing
+// is safe even from inside a handler of the event being dispatched: the
+// entry is tombstoned during dispatch and compacted afterwards. Handlers
+// subscribed during a dispatch of the same type do not see the in-flight
+// event (the dispatch snapshot is taken at Publish time).
 //
 // The bus is intentionally closed-world-free: any struct type can be an
 // event. Subscribers registered for type E only see events published as E.
@@ -21,19 +29,85 @@ namespace fluidfaas::sim {
 
 class EventBus {
  public:
+  using SubscriptionId = std::uint64_t;
+
+  /// RAII subscription handle: unsubscribes on destruction. Movable,
+  /// non-copyable; Release() detaches early.
+  class Subscription {
+   public:
+    Subscription() = default;
+    Subscription(EventBus* bus, SubscriptionId id) : bus_(bus), id_(id) {}
+    ~Subscription() { Release(); }
+    Subscription(const Subscription&) = delete;
+    Subscription& operator=(const Subscription&) = delete;
+    Subscription(Subscription&& other) noexcept
+        : bus_(other.bus_), id_(other.id_) {
+      other.bus_ = nullptr;
+    }
+    Subscription& operator=(Subscription&& other) noexcept {
+      if (this != &other) {
+        Release();
+        bus_ = other.bus_;
+        id_ = other.id_;
+        other.bus_ = nullptr;
+      }
+      return *this;
+    }
+
+    bool active() const { return bus_ != nullptr; }
+
+    void Release() {
+      if (bus_ != nullptr) bus_->Unsubscribe(id_);
+      bus_ = nullptr;
+    }
+
+   private:
+    EventBus* bus_ = nullptr;
+    SubscriptionId id_ = 0;
+  };
+
   EventBus() = default;
   EventBus(const EventBus&) = delete;
   EventBus& operator=(const EventBus&) = delete;
 
   /// Register a handler for events of exactly type E. Handlers for one type
-  /// run in subscription order. Subscribing from inside a handler is not
-  /// supported.
+  /// run in subscription order. Returns an id for Unsubscribe().
   template <typename E>
-  void Subscribe(std::function<void(const E&)> handler) {
-    handlers_[std::type_index(typeid(E))].push_back(
-        [h = std::move(handler)](const void* ev) {
-          h(*static_cast<const E*>(ev));
-        });
+  SubscriptionId Subscribe(std::function<void(const E&)> handler) {
+    const SubscriptionId id = next_id_++;
+    const std::type_index type(typeid(E));
+    handlers_[type].push_back(
+        Entry{id, [h = std::move(handler)](const void* ev) {
+                h(*static_cast<const E*>(ev));
+              }});
+    by_id_.emplace(id, type);
+    return id;
+  }
+
+  /// Subscribe with automatic detach when the returned handle dies.
+  template <typename E>
+  Subscription SubscribeScoped(std::function<void(const E&)> handler) {
+    return Subscription(this, Subscribe<E>(std::move(handler)));
+  }
+
+  /// Remove a subscription; false if the id is unknown (already removed).
+  /// Safe during dispatch: a handler may unsubscribe itself (or a peer) —
+  /// the slot is tombstoned immediately and skipped for the rest of the
+  /// dispatch, then reclaimed once the bus is quiescent.
+  bool Unsubscribe(SubscriptionId id) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    const std::type_index type = it->second;
+    auto& vec = handlers_[type];
+    for (Entry& e : vec) {
+      if (e.id == id) {
+        e.fn = nullptr;  // tombstone; compacted outside dispatch
+        break;
+      }
+    }
+    by_id_.erase(it);
+    if (dispatch_depth_ == 0) Compact(type);
+    return true;
   }
 
   /// Deliver `ev` to every subscriber of type E, synchronously.
@@ -42,24 +116,59 @@ class EventBus {
     ++published_;
     auto it = handlers_.find(std::type_index(typeid(E)));
     if (it == handlers_.end()) return;
-    for (const auto& h : it->second) h(&ev);
+    // Index-based loop over a size snapshot: handlers subscribed during
+    // this dispatch (which may reallocate the vector) neither run for the
+    // in-flight event nor invalidate the traversal, and tombstoned entries
+    // are skipped. The old iterator-based loop dangled on both.
+    auto& vec = it->second;
+    const std::size_t n = vec.size();
+    ++dispatch_depth_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (vec[i].fn) vec[i].fn(&ev);
+    }
+    if (--dispatch_depth_ == 0) Compact(it->first);
   }
 
   /// Total events published (delivered or not); handy in tests.
   std::uint64_t published() const { return published_; }
 
-  /// Number of handlers registered for type E.
+  /// Number of live handlers registered for type E.
   template <typename E>
   std::size_t subscribers() const {
     auto it = handlers_.find(std::type_index(typeid(E)));
-    return it == handlers_.end() ? 0 : it->second.size();
+    if (it == handlers_.end()) return 0;
+    std::size_t n = 0;
+    for (const Entry& e : it->second) {
+      if (e.fn) ++n;
+    }
+    return n;
   }
 
  private:
-  std::unordered_map<std::type_index,
-                     std::vector<std::function<void(const void*)>>>
-      handlers_;
+  struct Entry {
+    SubscriptionId id = 0;
+    std::function<void(const void*)> fn;
+  };
+
+  void Compact(const std::type_index& type) {
+    auto it = handlers_.find(type);
+    if (it == handlers_.end()) return;
+    auto& vec = it->second;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < vec.size(); ++r) {
+      if (vec[r].fn) {
+        if (w != r) vec[w] = std::move(vec[r]);
+        ++w;
+      }
+    }
+    vec.resize(w);
+  }
+
+  std::unordered_map<std::type_index, std::vector<Entry>> handlers_;
+  std::unordered_map<SubscriptionId, std::type_index> by_id_;
   std::uint64_t published_ = 0;
+  SubscriptionId next_id_ = 1;
+  int dispatch_depth_ = 0;
 };
 
 }  // namespace fluidfaas::sim

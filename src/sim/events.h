@@ -64,7 +64,7 @@ struct RequestCompleted {
 
 /// Mirror of platform::InstanceState, kept here so subscribers below the
 /// platform layer can name instance phases without depending on it.
-enum class InstancePhase { kLoading, kReady, kDraining, kRetired };
+enum class InstancePhase { kLoading, kReady, kDraining, kRetired, kFailed };
 
 constexpr const char* Name(InstancePhase p) {
   switch (p) {
@@ -76,6 +76,8 @@ constexpr const char* Name(InstancePhase p) {
       return "draining";
     case InstancePhase::kRetired:
       return "retired";
+    case InstancePhase::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -149,6 +151,114 @@ struct SchedulerTransition {
   TransitionKind kind = TransitionKind::kPromotion;
   FunctionId fn;
   InstanceId iid;  // invalid when the transition has no live instance
+  SimTime at = 0;
+};
+
+// --- fault injection & recovery --------------------------------------------
+
+/// The fault taxonomy of the failure model (DESIGN.md "Failure model").
+enum class FaultKind {
+  kInstanceCrash,     // a running instance's process dies
+  kSliceFailure,      // a MIG slice becomes unusable until repaired
+  kColdStartFailure,  // the next cold start crashes at the end of loading
+  kSlowStart,         // the next instance launch loads k× slower
+};
+
+constexpr const char* Name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kInstanceCrash:
+      return "instance-crash";
+    case FaultKind::kSliceFailure:
+      return "slice-failure";
+    case FaultKind::kColdStartFailure:
+      return "cold-start-failure";
+    case FaultKind::kSlowStart:
+      return "slow-start";
+  }
+  return "?";
+}
+
+// Fault *commands*, published by sim::FaultInjector and consumed by the
+// platform's recovery machinery. The injector deals only in ids, so the sim
+// layer stays below the platform; a command naming a dead/retired entity is
+// ignored by the subscriber (the injection still counts, deterministically).
+
+/// Crash the named instance now (all in-flight work on it is lost).
+struct InstanceCrashRequested {
+  InstanceId iid;
+  SimTime at = 0;
+};
+
+/// Fail a MIG slice for `repair` of simulated time. If the slice is bound,
+/// its occupant instance crashes with it (strong isolation: only that one
+/// instance is affected).
+struct SliceFailureRequested {
+  SliceId slice;
+  SimTime at = 0;
+  SimDuration repair = 0;
+};
+
+/// Arm a cold-start failure: the next cold instance launch crashes when its
+/// load completes (the load time is wasted).
+struct ColdStartFailureArmed {
+  SimTime at = 0;
+};
+
+/// Arm a slow-start straggler: the next instance launch loads factor× slower.
+struct SlowStartArmed {
+  double factor = 1.0;
+  SimTime at = 0;
+};
+
+// Fault *observations*, published by the platform as recovery unfolds so
+// metrics/tracing see the availability story without platform dependencies.
+
+/// An instance failed (crash, slice loss, or doomed cold start).
+struct InstanceFailed {
+  InstanceId iid;
+  FunctionId fn;
+  FaultKind cause = FaultKind::kInstanceCrash;
+  SimTime at = 0;
+};
+
+/// A slice became unallocatable; expected back at `at + repair`.
+struct SliceFailed {
+  SliceId slice;
+  SimTime at = 0;
+  SimDuration repair = 0;
+};
+
+struct SliceRepaired {
+  SliceId slice;
+  SimTime at = 0;
+};
+
+/// A request exceeded its enforcement timeout. Mid-queue expiry cancels the
+/// request outright (it never completes); mid-execution expiry lets the pass
+/// finish but the request no longer counts toward goodput.
+struct RequestTimedOut {
+  RequestId rid;
+  FunctionId fn;
+  bool mid_execution = false;
+  SimTime at = 0;
+};
+
+/// A failed request is being retried (attempt = failures so far). `resume`
+/// is true when the retry re-enters a pipeline at the failed stage instead
+/// of replaying completed stages.
+struct RequestRetried {
+  RequestId rid;
+  FunctionId fn;
+  int attempt = 0;
+  bool resume = false;
+  SimTime at = 0;
+};
+
+/// The retry policy gave up on a request; it will never complete.
+struct RequestAbandoned {
+  RequestId rid;
+  FunctionId fn;
+  int attempts = 0;
   SimTime at = 0;
 };
 

@@ -168,6 +168,80 @@ TEST(ReconfigCostTest, MinutesScaleCost) {
   EXPECT_GT(m.Cost(GiB(40)), m.Cost(0));
 }
 
+// --- slice failure & repair -------------------------------------------------
+
+TEST(ClusterFaultTest, FailedSliceLeavesEveryAllocationSurface) {
+  Cluster c = MakeTestCluster();
+  const SliceId sid = *c.SmallestFreeSliceWithMemory(GiB(1));
+  const MigProfile profile = c.slice(sid).profile();
+  c.MarkFailed(sid);
+
+  EXPECT_TRUE(c.IsFailed(sid));
+  EXPECT_FALSE(c.slice(sid).allocatable());
+  EXPECT_EQ(c.FailedSlices(), std::vector<SliceId>{sid});
+  for (SliceId s : c.FreeSlices(profile)) EXPECT_NE(s, sid);
+  for (SliceId s : c.FreeSlicesOnNode(c.slice(sid).node)) EXPECT_NE(s, sid);
+  auto pick = c.SmallestFreeSliceWithMemory(GiB(1));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_NE(*pick, sid);
+}
+
+TEST(ClusterFaultTest, FailureIsContainedToOneSlice) {
+  Cluster c = MakeTestCluster();
+  const SliceId sid = SliceId(0);
+  const GpuId gpu = c.slice(sid).gpu;
+  c.MarkFailed(sid);
+  // Strong isolation: sibling slices of the same GPU keep serving.
+  for (SliceId s : c.AllSlices()) {
+    if (s == sid) continue;
+    EXPECT_TRUE(c.slice(s).allocatable()) << s.value;
+    if (c.slice(s).gpu == gpu) {
+      c.Bind(s, InstanceId(1));
+      c.Release(s, InstanceId(1));
+    }
+  }
+}
+
+TEST(ClusterFaultTest, RepairRestoresAllocatability) {
+  Cluster c = MakeTestCluster();
+  const SliceId sid = SliceId(2);
+  c.MarkFailed(sid);
+  c.Repair(sid);
+  EXPECT_FALSE(c.IsFailed(sid));
+  EXPECT_TRUE(c.slice(sid).allocatable());
+  EXPECT_TRUE(c.FailedSlices().empty());
+  c.Bind(sid, InstanceId(7));  // usable again
+  EXPECT_EQ(c.slice(sid).occupant, InstanceId(7));
+}
+
+TEST(ClusterFaultTest, GuardsRejectInvalidTransitions) {
+  Cluster c = MakeTestCluster();
+  c.Bind(SliceId(0), InstanceId(1));
+  // A bound slice cannot fail directly: the platform crashes and releases
+  // the occupant first.
+  EXPECT_THROW(c.MarkFailed(SliceId(0)), FfsError);
+  c.Release(SliceId(0), InstanceId(1));
+  c.MarkFailed(SliceId(0));
+  EXPECT_THROW(c.MarkFailed(SliceId(0)), FfsError);  // double failure
+  EXPECT_THROW(c.Bind(SliceId(0), InstanceId(2)), FfsError);
+  EXPECT_THROW(c.Repair(SliceId(1)), FfsError);  // healthy slice
+}
+
+TEST(ClusterFaultTest, RepairAfterRepartitionIsANoOp) {
+  Cluster c = MakeTestCluster();
+  const SliceId sid = SliceId(0);
+  const GpuId gpu = c.slice(sid).gpu;
+  c.MarkFailed(sid);
+  // Repartitioning replaces the broken slice with fresh ids; the repair
+  // scheduled for the old id must land harmlessly.
+  const auto fresh = c.RepartitionGpu(gpu, MigPartition::Parse("7g.80gb"));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_TRUE(c.IsDead(sid));
+  EXPECT_FALSE(c.IsFailed(sid));
+  c.Repair(sid);  // no throw
+  EXPECT_TRUE(c.slice(fresh[0]).allocatable());
+}
+
 TEST(ClusterTest, InvalidIdsThrow) {
   Cluster c = MakeTestCluster();
   EXPECT_THROW(c.slice(SliceId()), FfsError);

@@ -72,5 +72,78 @@ TEST(HarnessDeterminismTest, SameSeedSameResultAcrossSystems) {
   }
 }
 
+// --- fault injection --------------------------------------------------------
+
+TEST(HarnessDeterminismTest, FaultRateZeroIsCompletelyInert) {
+  // Every other fault knob must be ignored at rate 0: the injector is never
+  // constructed and no timeout timers are armed, so the run is the same
+  // event-for-event as one that never heard of fault injection.
+  ExperimentConfig plain = SmallConfig();
+  ExperimentConfig zeroed = SmallConfig();
+  zeroed.faults.rate = 0.0;
+  zeroed.faults.seed = 999;
+  zeroed.faults.mttr = Seconds(1);
+
+  const ExperimentResult a = RunExperiment(plain);
+  const ExperimentResult b = RunExperiment(zeroed);
+  EXPECT_EQ(a.slo_hit_rate, b.slo_hit_rate);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.recorder->LatenciesSeconds(), b.recorder->LatenciesSeconds());
+  EXPECT_EQ(a.goodput_rps, b.goodput_rps);
+  EXPECT_EQ(b.timeouts, 0u);
+  EXPECT_EQ(b.retries, 0u);
+  EXPECT_EQ(b.instances_failed, 0u);
+  // Without timeouts/abandonment, goodput degenerates to SLO-hit throughput
+  // and every request finishes by completing.
+  EXPECT_EQ(b.recorder->finished_requests(),
+            b.recorder->completed_requests());
+}
+
+ExperimentConfig FaultyConfig(std::uint64_t fault_seed) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.duration = Seconds(30);
+  cfg.faults.rate = 0.2;  // ~6 faults over the run
+  cfg.faults.seed = fault_seed;
+  cfg.faults.mttr = Seconds(10);
+  cfg.faults.timeout_scale = 3.0;
+  return cfg;
+}
+
+TEST(HarnessDeterminismTest, SameFaultSeedReplaysTheSameDisruption) {
+  const ExperimentConfig cfg = FaultyConfig(77);
+  const ExperimentResult a = RunExperiment(cfg);
+  const ExperimentResult b = RunExperiment(cfg);
+  EXPECT_EQ(a.slo_hit_rate, b.slo_hit_rate);
+  EXPECT_EQ(a.goodput_rps, b.goodput_rps);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.instances_failed, b.instances_failed);
+  EXPECT_EQ(a.slices_failed, b.slices_failed);
+  EXPECT_EQ(a.recorder->LatenciesSeconds(), b.recorder->LatenciesSeconds());
+}
+
+TEST(HarnessDeterminismTest, DifferentFaultSeedsDisagree) {
+  const ExperimentResult a = RunExperiment(FaultyConfig(77));
+  const ExperimentResult c = RunExperiment(FaultyConfig(78));
+  const bool identical =
+      a.recorder->LatenciesSeconds() == c.recorder->LatenciesSeconds() &&
+      a.timeouts == c.timeouts && a.retries == c.retries &&
+      a.instances_failed == c.instances_failed &&
+      a.slices_failed == c.slices_failed;
+  EXPECT_FALSE(identical);
+}
+
+TEST(HarnessDeterminismTest, FaultyRunsStillDrainAndAccountEveryRequest) {
+  const ExperimentResult r = RunExperiment(FaultyConfig(5));
+  // Injection happened and the availability story is consistent: every
+  // submitted request reached a terminal state, and goodput can only lose
+  // against raw throughput.
+  EXPECT_GT(r.instances_failed + r.slices_failed + r.timeouts, 0u);
+  EXPECT_EQ(r.recorder->finished_requests(), r.recorder->total_requests());
+  EXPECT_LE(r.goodput_rps, r.throughput_rps);
+}
+
 }  // namespace
 }  // namespace fluidfaas::harness

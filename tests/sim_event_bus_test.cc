@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpu/cluster.h"
@@ -52,6 +53,96 @@ TEST(EventBusTest, SubscribersRunInSubscriptionOrder) {
   bus.Publish(Ping{});
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(bus.subscribers<Ping>(), 3u);
+}
+
+// --- unsubscription ---------------------------------------------------------
+
+TEST(EventBusTest, UnsubscribeStopsDelivery) {
+  EventBus bus;
+  int pings = 0;
+  const EventBus::SubscriptionId id =
+      bus.Subscribe<Ping>([&](const Ping& p) { pings += p.value; });
+  bus.Publish(Ping{1});
+  EXPECT_TRUE(bus.Unsubscribe(id));
+  bus.Publish(Ping{10});
+  EXPECT_EQ(pings, 1);
+  EXPECT_EQ(bus.subscribers<Ping>(), 0u);
+  // A second removal of the same id reports failure, harmlessly.
+  EXPECT_FALSE(bus.Unsubscribe(id));
+  EXPECT_FALSE(bus.Unsubscribe(9999));
+}
+
+TEST(EventBusTest, ScopedSubscriptionDetachesOnDestruction) {
+  EventBus bus;
+  int pings = 0;
+  {
+    EventBus::Subscription sub =
+        bus.SubscribeScoped<Ping>([&](const Ping&) { ++pings; });
+    EXPECT_TRUE(sub.active());
+    bus.Publish(Ping{});
+    EXPECT_EQ(bus.subscribers<Ping>(), 1u);
+  }
+  bus.Publish(Ping{});
+  EXPECT_EQ(pings, 1);
+  EXPECT_EQ(bus.subscribers<Ping>(), 0u);
+}
+
+TEST(EventBusTest, ScopedSubscriptionMoveTransfersOwnership) {
+  EventBus bus;
+  int pings = 0;
+  EventBus::Subscription outer;
+  {
+    EventBus::Subscription inner =
+        bus.SubscribeScoped<Ping>([&](const Ping&) { ++pings; });
+    outer = std::move(inner);
+    EXPECT_FALSE(inner.active());  // NOLINT(bugprone-use-after-move)
+  }
+  bus.Publish(Ping{});  // inner's destruction must not have detached
+  EXPECT_EQ(pings, 1);
+  outer.Release();
+  bus.Publish(Ping{});
+  EXPECT_EQ(pings, 1);
+}
+
+TEST(EventBusTest, HandlerMayUnsubscribeItselfDuringDispatch) {
+  EventBus bus;
+  int first = 0, second = 0;
+  EventBus::SubscriptionId id = 0;
+  id = bus.Subscribe<Ping>([&](const Ping&) {
+    ++first;
+    bus.Unsubscribe(id);  // one-shot subscriber
+  });
+  bus.Subscribe<Ping>([&](const Ping&) { ++second; });
+  bus.Publish(Ping{});
+  bus.Publish(Ping{});
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);  // the later peer kept running, both times
+}
+
+TEST(EventBusTest, HandlerMayUnsubscribeALaterPeerDuringDispatch) {
+  EventBus bus;
+  int victim_runs = 0;
+  EventBus::SubscriptionId victim = 0;
+  bus.Subscribe<Ping>([&](const Ping&) { bus.Unsubscribe(victim); });
+  victim = bus.Subscribe<Ping>([&](const Ping&) { ++victim_runs; });
+  bus.Publish(Ping{});
+  // Tombstoned mid-dispatch: the victim must not see the in-flight event.
+  EXPECT_EQ(victim_runs, 0);
+  EXPECT_EQ(bus.subscribers<Ping>(), 1u);
+}
+
+TEST(EventBusTest, SubscribeDuringDispatchMissesTheInFlightEvent) {
+  EventBus bus;
+  int late_runs = 0;
+  bus.Subscribe<Ping>([&](const Ping&) {
+    if (bus.subscribers<Ping>() == 1u) {
+      bus.Subscribe<Ping>([&](const Ping&) { ++late_runs; });
+    }
+  });
+  bus.Publish(Ping{});
+  EXPECT_EQ(late_runs, 0);  // snapshot taken at Publish time
+  bus.Publish(Ping{});
+  EXPECT_EQ(late_runs, 1);
 }
 
 // --- lifecycle ordering through a real platform ----------------------------

@@ -3,11 +3,14 @@
 #
 # Runs the ROADMAP.md tier-1 check (configure + build + ctest) twice: once
 # in the default build tree, once with FFS_SANITIZE=ON (AddressSanitizer +
-# UBSan). Usage:
+# UBSan), plus a fault-injection smoke that exercises the failure-recovery
+# paths (crash harvesting, retries, slice repair, timeout expiry) under the
+# sanitizers. Usage:
 #
-#   tools/check.sh          # both passes
+#   tools/check.sh          # all passes
 #   tools/check.sh plain    # default build only
 #   tools/check.sh asan     # sanitized build only
+#   tools/check.sh faults   # sanitized fault-sweep smoke only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,15 +25,28 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
+# Shortened fault sweep under ASan/UBSan: the recovery machinery moves a lot
+# of in-flight state between instances, slices and timers, exactly where
+# lifetime bugs would hide.
+run_faults() {
+  echo "=== build-asan: fault-injection smoke ==="
+  cmake -B build-asan -S . -DFFS_SANITIZE=ON
+  cmake --build build-asan -j "${jobs}" --target fault_sweep
+  ( cd build-asan && FFS_BENCH_DURATION_S=10 \
+      FFS_FAULT_SWEEP_OUT=fault_sweep_smoke.json ./bench/fault_sweep )
+}
+
 case "${mode}" in
-  plain) run_pass build ;;
-  asan)  run_pass build-asan -DFFS_SANITIZE=ON ;;
+  plain)  run_pass build ;;
+  asan)   run_pass build-asan -DFFS_SANITIZE=ON ;;
+  faults) run_faults ;;
   all)
     run_pass build
     run_pass build-asan -DFFS_SANITIZE=ON
+    run_faults
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|all|faults]" >&2
     exit 2
     ;;
 esac

@@ -4,6 +4,8 @@
 //                    infless|repartition|all] [--nodes N] [--gpus N]
 //                    [--duration SECONDS] [--load FRACTION] [--seed N]
 //                    [--partition SPEC] [--csv FILE] [--trace-out FILE]
+//                    [--fault-rate R] [--fault-seed N] [--mttr SECONDS]
+//                    [--timeout-scale S]
 //   fluidfaas trace [--functions N] [--rps R] [--duration SECONDS]
 //                    [--seed N] [--out FILE]
 //   fluidfaas plan  [--app 0..3 | --llm 7b|13b|34b]
@@ -79,6 +81,13 @@ int CmdRun(const CliArgs& args) {
 
   cfg.trace_out = args.GetString("trace-out", "");
 
+  // Deterministic fault injection: mean faults/s of simulated time across
+  // the cluster; 0 (the default) runs exactly the fault-free simulation.
+  cfg.faults.rate = args.GetDouble("fault-rate", 0.0);
+  cfg.faults.seed = static_cast<std::uint64_t>(args.GetInt("fault-seed", 0));
+  cfg.faults.mttr = Seconds(args.GetDouble("mttr", 30.0));
+  cfg.faults.timeout_scale = args.GetDouble("timeout-scale", 0.0);
+
   const std::string system = args.GetString("system", "all");
   std::vector<harness::ExperimentResult> results;
   if (system == "all") {
@@ -119,6 +128,23 @@ int CmdRun(const CliArgs& args) {
             << " node(s) x " << cfg.gpus_per_node << " GPU(s), "
             << ToSeconds(cfg.duration) << "s simulated\n";
   table.Print();
+
+  if (cfg.faults.rate > 0.0) {
+    metrics::Table faults({"system", "goodput", "failed inst", "failed slc",
+                           "retries", "recovered", "timeouts", "abandoned"});
+    for (const auto& r : results) {
+      faults.AddRow({r.system, metrics::Fmt(r.goodput_rps, 1) + " rps",
+                     std::to_string(r.instances_failed),
+                     std::to_string(r.slices_failed),
+                     std::to_string(r.retries), std::to_string(r.recovered),
+                     std::to_string(r.timeouts),
+                     std::to_string(r.abandoned)});
+    }
+    std::cout << "faults: rate " << cfg.faults.rate << "/s, mttr "
+              << ToSeconds(cfg.faults.mttr) << "s, timeout scale "
+              << cfg.faults.timeout_scale << "\n";
+    faults.Print();
+  }
 
   if (args.Has("json")) {
     const std::string path = args.GetString("json", "");
@@ -250,7 +276,8 @@ int main(int argc, char** argv) {
       return CmdRun(CliArgs(argc, argv, 2,
                             {"tier", "system", "nodes", "gpus", "duration",
                              "load", "seed", "partition", "csv", "trace",
-                             "json", "trace-out"}));
+                             "json", "trace-out", "fault-rate", "fault-seed",
+                             "mttr", "timeout-scale"}));
     }
     if (cmd == "trace") {
       return CmdTrace(CliArgs(argc, argv, 2,
