@@ -1,7 +1,8 @@
 // Batching ablation (extension): the paper's evaluation serves one request
 // per pass; INFless's native capability is batch-aware serving. This bench
 // turns batching on for every system to check that FluidFaaS's advantage is
-// orthogonal to batching rather than an artifact of its absence.
+// orthogonal to batching rather than an artifact of its absence. The
+// tier × system × batch cells execute through the parallel engine.
 #include "bench/bench_util.h"
 
 using namespace fluidfaas;
@@ -9,18 +10,30 @@ using namespace fluidfaas;
 int main() {
   bench::Banner("Ablation — batched serving on/off for every system",
                 "INFless capability (extension beyond the paper)");
-  for (auto tier :
-       {trace::WorkloadTier::kMedium, trace::WorkloadTier::kHeavy}) {
-    metrics::Table table({"System", "batch=1 thr", "batch=4 thr",
-                          "batch=1 SLO", "batch=4 SLO"});
-    for (auto kind :
-         {harness::SystemKind::kInfless, harness::SystemKind::kEsg,
-          harness::SystemKind::kFluidFaas}) {
+  const trace::WorkloadTier tiers[] = {trace::WorkloadTier::kMedium,
+                                       trace::WorkloadTier::kHeavy};
+  const harness::SystemKind systems[] = {harness::SystemKind::kInfless,
+                                         harness::SystemKind::kEsg,
+                                         harness::SystemKind::kFluidFaas};
+  std::vector<harness::ExperimentConfig> cells;
+  for (auto tier : tiers) {
+    for (auto kind : systems) {
       auto cfg = bench::PaperConfig(tier);
       cfg.system = kind;
-      auto plain = harness::RunExperiment(cfg);
+      cells.push_back(cfg);  // batch=1
       cfg.platform.max_batch = 4;
-      auto batched = harness::RunExperiment(cfg);
+      cells.push_back(cfg);  // batch=4
+    }
+  }
+  const auto results = bench::RunAll(cells);
+
+  std::size_t i = 0;
+  for (auto tier : tiers) {
+    metrics::Table table({"System", "batch=1 thr", "batch=4 thr",
+                          "batch=1 SLO", "batch=4 SLO"});
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto& plain = results[i++];
+      const auto& batched = results[i++];
       table.AddRow({plain.system, metrics::Fmt(plain.throughput_rps, 1),
                     metrics::Fmt(batched.throughput_rps, 1),
                     metrics::FmtPercent(plain.slo_hit_rate),

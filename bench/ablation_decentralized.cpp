@@ -1,6 +1,7 @@
 // Decentralization ablation (extension): the centralized FluidFaaS
 // scheduler vs the paper's explicit two-level controller/invoker structure
-// (§5.2.2), on the standard workloads.
+// (§5.2.2), on the standard workloads. The tier × system grid executes as
+// one parallel sweep.
 #include "bench/bench_util.h"
 
 using namespace fluidfaas;
@@ -9,21 +10,23 @@ int main() {
   bench::Banner(
       "Ablation — centralized scheduler vs per-node invokers (Fig. 2/6)",
       "§5.2.2 (extension beyond the paper)");
+  harness::SweepSpec spec;
+  spec.base = bench::PaperConfig(trace::WorkloadTier::kLight);
+  spec.tiers = {trace::WorkloadTier::kLight, trace::WorkloadTier::kMedium,
+                trace::WorkloadTier::kHeavy};
+  spec.systems = {harness::SystemKind::kFluidFaas,
+                  harness::SystemKind::kFluidFaasDistributed};
+  const harness::SweepOutcome sweep = harness::RunSweep(spec);
+
   metrics::Table table({"Workload", "System", "thr (rps)", "SLO hit",
                         "pipelines", "evictions"});
-  for (auto tier : {trace::WorkloadTier::kLight, trace::WorkloadTier::kMedium,
-                    trace::WorkloadTier::kHeavy}) {
-    for (auto kind : {harness::SystemKind::kFluidFaas,
-                      harness::SystemKind::kFluidFaasDistributed}) {
-      auto cfg = bench::PaperConfig(tier);
-      cfg.system = kind;
-      auto r = harness::RunExperiment(cfg);
-      table.AddRow({trace::Name(tier), r.system,
-                    metrics::Fmt(r.throughput_rps, 1),
-                    metrics::FmtPercent(r.slo_hit_rate),
-                    std::to_string(r.pipelines_launched),
-                    std::to_string(r.evictions)});
-    }
+  for (const harness::SweepCell& cell : sweep.cells) {
+    const auto& r = cell.result;
+    table.AddRow({trace::Name(cell.point.tier), r.system,
+                  metrics::Fmt(r.throughput_rps, 1),
+                  metrics::FmtPercent(r.slo_hit_rate),
+                  std::to_string(r.pipelines_launched),
+                  std::to_string(r.evictions)});
   }
   table.Print();
   std::cout << "\nPer-invoker scheduling keeps decisions node-local (no\n"

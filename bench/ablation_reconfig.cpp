@@ -1,7 +1,8 @@
 // Reconfiguration vs pipelining (extension): the paper dismisses runtime
 // MIG repartitioning because it takes minutes (§2.2); this bench races the
 // Repartition baseline against FluidFaaS on the heavy workload so the cost
-// of that road-not-taken is a number, not an assertion.
+// of that road-not-taken is a number, not an assertion. The tier × system
+// grid executes as one parallel sweep.
 #include "bench/bench_util.h"
 
 using namespace fluidfaas;
@@ -10,26 +11,27 @@ int main() {
   bench::Banner(
       "Ablation — runtime repartitioning vs pipeline construction",
       "§2.2's rigidity argument (extension beyond the paper)");
+  harness::SweepSpec spec;
+  spec.base = bench::PaperConfig(trace::WorkloadTier::kMedium);
+  spec.tiers = {trace::WorkloadTier::kMedium, trace::WorkloadTier::kHeavy};
+  spec.systems = {harness::SystemKind::kEsg,
+                  harness::SystemKind::kRepartition,
+                  harness::SystemKind::kFluidFaas};
+  const harness::SweepOutcome sweep = harness::RunSweep(spec);
+
   metrics::Table table({"Workload", "System", "thr (rps)", "SLO hit",
                         "P95", "reconfigs", "blackout"});
-  for (auto tier :
-       {trace::WorkloadTier::kMedium, trace::WorkloadTier::kHeavy}) {
-    for (auto kind : {harness::SystemKind::kEsg,
-                      harness::SystemKind::kRepartition,
-                      harness::SystemKind::kFluidFaas}) {
-      auto cfg = bench::PaperConfig(tier);
-      cfg.system = kind;
-      auto r = harness::RunExperiment(cfg);
-      auto lats = r.recorder->LatenciesSeconds();
-      const double p95 = lats.empty() ? 0.0 : Percentile(lats, 0.95);
-      table.AddRow({trace::Name(tier), r.system,
-                    metrics::Fmt(r.throughput_rps, 1),
-                    metrics::FmtPercent(r.slo_hit_rate),
-                    metrics::Fmt(p95, 1) + "s",
-                    std::to_string(r.reconfigurations),
-                    metrics::Fmt(ToSeconds(r.reconfiguration_blackout), 0) +
-                        "s"});
-    }
+  for (const harness::SweepCell& cell : sweep.cells) {
+    const auto& r = cell.result;
+    auto lats = r.recorder->LatenciesSeconds();
+    const double p95 = lats.empty() ? 0.0 : Percentile(lats, 0.95);
+    table.AddRow({trace::Name(cell.point.tier), r.system,
+                  metrics::Fmt(r.throughput_rps, 1),
+                  metrics::FmtPercent(r.slo_hit_rate),
+                  metrics::Fmt(p95, 1) + "s",
+                  std::to_string(r.reconfigurations),
+                  metrics::Fmt(ToSeconds(r.reconfiguration_blackout), 0) +
+                      "s"});
   }
   table.Print();
   std::cout << "\nEvery repartition rights the slice mix at the cost of a\n"

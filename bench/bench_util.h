@@ -4,22 +4,57 @@
 // DESIGN.md §3) at the paper's cluster scale: 2 nodes × 8 A100s, default
 // partition 4g.40gb+2g.20gb+1g.10gb per GPU. Durations are simulated time;
 // override with FFS_BENCH_DURATION_S for quicker smoke runs.
+//
+// Since the sweep-engine refactor the benches execute their whole run grid
+// through harness::RunSweep / harness::RunConfigs: cells run concurrently
+// (FFS_JOBS workers, default = hardware threads) and land by grid index,
+// so stdout is byte-identical at any job count.
 #pragma once
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "metrics/report.h"
 
 namespace fluidfaas::bench {
 
+namespace detail {
+
+/// Parse FFS_BENCH_DURATION_S exactly once (immutable after init). A
+/// malformed, non-positive or non-finite value aborts the bench with a
+/// clear message instead of silently falling back — std::atof used to
+/// return 0 for garbage, which quietly restored the default duration.
+inline std::optional<double> DurationOverrideSeconds() {
+  static const std::optional<double> cached =
+      []() -> std::optional<double> {
+    const char* env = std::getenv("FFS_BENCH_DURATION_S");
+    if (env == nullptr || *env == '\0') return std::nullopt;
+    char* end = nullptr;
+    errno = 0;
+    const double s = std::strtod(env, &end);
+    if (errno != 0 || end == env || *end != '\0' || !(s > 0.0) ||
+        s > 1e9) {
+      std::fprintf(stderr,
+                   "FFS_BENCH_DURATION_S must be a positive number of "
+                   "seconds (<= 1e9), got: \"%s\"\n",
+                   env);
+      std::exit(2);
+    }
+    return s;
+  }();
+  return cached;
+}
+
+}  // namespace detail
+
 inline SimDuration BenchDuration(double default_seconds = 150.0) {
-  if (const char* env = std::getenv("FFS_BENCH_DURATION_S")) {
-    const double s = std::atof(env);
-    if (s > 0) return Seconds(s);
-  }
+  if (const auto s = detail::DurationOverrideSeconds()) return Seconds(*s);
   return Seconds(default_seconds);
 }
 
@@ -31,6 +66,27 @@ inline harness::ExperimentConfig PaperConfig(trace::WorkloadTier tier) {
   cfg.duration = BenchDuration();
   cfg.seed = 1234;
   return cfg;
+}
+
+/// Run a set of bench cells through the parallel engine; results come back
+/// in input order. Thin alias so every bench reads the same way.
+inline std::vector<harness::ExperimentResult> RunAll(
+    const std::vector<harness::ExperimentConfig>& configs) {
+  return harness::RunConfigs(configs);
+}
+
+/// Write the BENCH_sweep.json artifact (FFS_SWEEP_OUT overrides the path)
+/// and print where it went plus the wall-clock/speedup summary.
+inline void ReportSweepArtifact(const harness::SweepOutcome& outcome,
+                                const std::string& fallback =
+                                    "BENCH_sweep.json") {
+  const std::string path = harness::SweepOutPath(fallback);
+  if (harness::WriteSweepJsonFile(outcome, path)) {
+    std::cout << "sweep artifact: " << path << " (" << outcome.cells.size()
+              << " cells, jobs=" << outcome.jobs << ", wall "
+              << metrics::Fmt(outcome.wall_seconds, 2) << "s, speedup "
+              << metrics::Fmt(outcome.Speedup(), 2) << "x)\n";
+  }
 }
 
 inline void Banner(const std::string& title, const std::string& paper_ref) {

@@ -5,6 +5,10 @@
 // DESIGN.md "Failure model"). Goodput counts SLO-hit completions that were
 // not disqualified by the enforcement timeout, so a scheduler that retries
 // well keeps goodput close to its fault-free throughput.
+//
+// The rate × system grid executes as one parallel sweep (fault rate is a
+// first-class sweep axis); rows and the JSON report follow grid order, so
+// output is byte-identical at any FFS_JOBS.
 #include <fstream>
 
 #include "bench/bench_util.h"
@@ -24,11 +28,21 @@ constexpr harness::SystemKind kSystems[] = {
     harness::SystemKind::kFluidFaas,
 };
 
+constexpr std::size_t kNumSystems = sizeof(kSystems) / sizeof(kSystems[0]);
+
 }  // namespace
 
 int main() {
   bench::Banner("Fault sweep — goodput & SLO degradation under injection",
                 "robustness extension beyond the paper");
+
+  harness::SweepSpec spec;
+  spec.base = bench::PaperConfig(trace::WorkloadTier::kMedium);
+  spec.base.faults.mttr = Seconds(30.0);
+  spec.base.faults.timeout_scale = 3.0;
+  spec.fault_rates.assign(std::begin(kRates), std::end(kRates));
+  spec.systems.assign(std::begin(kSystems), std::end(kSystems));
+  const harness::SweepOutcome sweep = harness::RunSweep(spec);
 
   metrics::Table table({"rate (/s)", "System", "goodput", "SLO hit",
                         "vs rate 0", "inst fail", "slice fail", "retries",
@@ -37,44 +51,40 @@ int main() {
   JsonWriter w;
   w.BeginArray();
   // Fault-free goodput per system, the baseline of the degradation column.
-  double baseline[sizeof(kSystems) / sizeof(kSystems[0])] = {};
+  // The rate-0 cells are the grid's first row (fault rate is the outer
+  // axis), so they are always populated before higher rates consult them.
+  double baseline[kNumSystems] = {};
 
-  for (double rate : kRates) {
-    for (std::size_t s = 0; s < sizeof(kSystems) / sizeof(kSystems[0]);
-         ++s) {
-      auto cfg = bench::PaperConfig(trace::WorkloadTier::kMedium);
-      cfg.system = kSystems[s];
-      cfg.faults.rate = rate;
-      cfg.faults.mttr = Seconds(30.0);
-      cfg.faults.timeout_scale = 3.0;
-      auto r = harness::RunExperiment(cfg);
-      if (rate == 0.0) baseline[s] = r.goodput_rps;
-      const double rel =
-          baseline[s] > 0.0 ? r.goodput_rps / baseline[s] : 1.0;
-      table.AddRow({metrics::Fmt(rate, 2), r.system,
-                    metrics::Fmt(r.goodput_rps, 1) + " rps",
-                    metrics::FmtPercent(r.slo_hit_rate),
-                    metrics::FmtPercent(rel),
-                    std::to_string(r.instances_failed),
-                    std::to_string(r.slices_failed),
-                    std::to_string(r.retries),
-                    std::to_string(r.recovered),
-                    std::to_string(r.abandoned)});
-      w.BeginObject();
-      w.Key("fault_rate").Value(rate);
-      w.Key("system").Value(r.system);
-      w.Key("goodput_rps").Value(r.goodput_rps);
-      w.Key("goodput_vs_baseline").Value(rel);
-      w.Key("throughput_rps").Value(r.throughput_rps);
-      w.Key("slo_hit_rate").Value(r.slo_hit_rate);
-      w.Key("instances_failed").Value(r.instances_failed);
-      w.Key("slices_failed").Value(r.slices_failed);
-      w.Key("timeouts").Value(r.timeouts);
-      w.Key("retries").Value(r.retries);
-      w.Key("recovered").Value(r.recovered);
-      w.Key("abandoned").Value(r.abandoned);
-      w.EndObject();
-    }
+  for (const harness::SweepCell& cell : sweep.cells) {
+    const std::size_t s = cell.point.index % kNumSystems;
+    const double rate = cell.point.fault_rate;
+    const auto& r = cell.result;
+    if (rate == 0.0) baseline[s] = r.goodput_rps;
+    const double rel =
+        baseline[s] > 0.0 ? r.goodput_rps / baseline[s] : 1.0;
+    table.AddRow({metrics::Fmt(rate, 2), r.system,
+                  metrics::Fmt(r.goodput_rps, 1) + " rps",
+                  metrics::FmtPercent(r.slo_hit_rate),
+                  metrics::FmtPercent(rel),
+                  std::to_string(r.instances_failed),
+                  std::to_string(r.slices_failed),
+                  std::to_string(r.retries),
+                  std::to_string(r.recovered),
+                  std::to_string(r.abandoned)});
+    w.BeginObject();
+    w.Key("fault_rate").Value(rate);
+    w.Key("system").Value(r.system);
+    w.Key("goodput_rps").Value(r.goodput_rps);
+    w.Key("goodput_vs_baseline").Value(rel);
+    w.Key("throughput_rps").Value(r.throughput_rps);
+    w.Key("slo_hit_rate").Value(r.slo_hit_rate);
+    w.Key("instances_failed").Value(r.instances_failed);
+    w.Key("slices_failed").Value(r.slices_failed);
+    w.Key("timeouts").Value(r.timeouts);
+    w.Key("retries").Value(r.retries);
+    w.Key("recovered").Value(r.recovered);
+    w.Key("abandoned").Value(r.abandoned);
+    w.EndObject();
   }
   table.Print();
   w.EndArray();

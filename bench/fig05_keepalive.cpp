@@ -14,7 +14,13 @@ int main() {
   cfg.duration = bench::BenchDuration(600.0);  // longer, sparse trace
   cfg.load_factor = 0.06;
   cfg.platform.exclusive_keepalive = Minutes(10);  // the paper's policy
-  auto esg = harness::RunExperiment(cfg);
+
+  // Both systems' runs are independent cells; run them concurrently and
+  // print ESG first, exactly as before.
+  auto fluid_cfg = cfg;
+  fluid_cfg.system = harness::SystemKind::kFluidFaas;
+  auto results = bench::RunAll({cfg, fluid_cfg});
+  const auto& esg = results[0];
 
   metrics::Table table({"GPU", "occupied", "actively used"});
   auto occ = esg.recorder->PerGpuOccupancy();
@@ -40,8 +46,7 @@ int main() {
             << " (paper: < 35% for 90% of the time)\n"
             << "\nFor comparison, FluidFaaS on the same trace:\n";
 
-  cfg.system = harness::SystemKind::kFluidFaas;
-  auto fluid = harness::RunExperiment(cfg);
+  const auto& fluid = results[1];
   auto focc = fluid.recorder->PerGpuOccupancy();
   double f_active = 0.0, f_occ = 0.0;
   for (const auto& g : focc) {

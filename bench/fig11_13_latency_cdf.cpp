@@ -1,6 +1,7 @@
 // Figures 11-13: end-to-end latency CDFs per application for heavy (11),
 // medium (12) and light (13) workloads. Pass "heavy", "medium" or "light"
-// to restrict to one tier; default runs all three.
+// to restrict to one tier; default runs all three. The tier × system grid
+// executes as one parallel sweep; printing follows grid order.
 #include <cstring>
 
 #include "bench/bench_util.h"
@@ -10,16 +11,17 @@ using namespace fluidfaas;
 
 namespace {
 
-void PrintTier(trace::WorkloadTier tier) {
-  auto results = harness::RunComparison(bench::PaperConfig(tier));
-  const auto& names = results[0].function_names;
+void PrintTier(trace::WorkloadTier tier,
+               const harness::ExperimentResult* results[3]) {
+  const auto& names = results[0]->function_names;
 
   std::cout << "--- " << trace::Name(tier) << " workload ---\n";
   const std::vector<double> qs = {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99};
   for (std::size_t f = 0; f < names.size(); ++f) {
     metrics::Table table({"system", "p10", "p25", "p50", "p75", "p90", "p95",
                           "p99"});
-    for (const auto& r : results) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto& r = *results[s];
       auto lats = r.recorder->LatenciesSeconds(
           FunctionId(static_cast<std::int32_t>(f)));
       if (lats.empty()) continue;
@@ -36,13 +38,28 @@ void PrintTier(trace::WorkloadTier tier) {
     auto lats = r.recorder->LatenciesSeconds();
     return lats.empty() ? 0.0 : Percentile(lats, 0.95);
   };
-  const double esg95 = p95(results[1]);
-  const double fluid95 = p95(results[2]);
+  const double esg95 = p95(*results[1]);
+  const double fluid95 = p95(*results[2]);
   if (esg95 > 0) {
     std::cout << "P95 (all apps): ESG " << metrics::Fmt(esg95, 3)
               << "s, FluidFaaS " << metrics::Fmt(fluid95, 3) << "s ("
               << metrics::Fmt(100.0 * (1.0 - fluid95 / esg95), 1)
               << "% reduction; paper: up to 81% heavy / 70% medium)\n\n";
+  }
+}
+
+void RunTiers(const std::vector<trace::WorkloadTier>& tiers) {
+  harness::SweepSpec spec;
+  spec.base = bench::PaperConfig(tiers.front());
+  spec.tiers = tiers;
+  spec.systems = {harness::SystemKind::kInfless, harness::SystemKind::kEsg,
+                  harness::SystemKind::kFluidFaas};
+  const harness::SweepOutcome sweep = harness::RunSweep(spec);
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    const harness::ExperimentResult* results[3] = {
+        &sweep.cells[3 * t + 0].result, &sweep.cells[3 * t + 1].result,
+        &sweep.cells[3 * t + 2].result};
+    PrintTier(tiers[t], results);
   }
 }
 
@@ -53,16 +70,15 @@ int main(int argc, char** argv) {
                 "Figs. 11, 12, 13");
   if (argc > 1) {
     if (!std::strcmp(argv[1], "heavy")) {
-      PrintTier(trace::WorkloadTier::kHeavy);
+      RunTiers({trace::WorkloadTier::kHeavy});
     } else if (!std::strcmp(argv[1], "medium")) {
-      PrintTier(trace::WorkloadTier::kMedium);
+      RunTiers({trace::WorkloadTier::kMedium});
     } else {
-      PrintTier(trace::WorkloadTier::kLight);
+      RunTiers({trace::WorkloadTier::kLight});
     }
     return 0;
   }
-  PrintTier(trace::WorkloadTier::kHeavy);
-  PrintTier(trace::WorkloadTier::kMedium);
-  PrintTier(trace::WorkloadTier::kLight);
+  RunTiers({trace::WorkloadTier::kHeavy, trace::WorkloadTier::kMedium,
+            trace::WorkloadTier::kLight});
   return 0;
 }

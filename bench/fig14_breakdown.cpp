@@ -1,5 +1,6 @@
 // Figure 14: end-to-end latency breakdown (queueing / loading / execution /
-// data transfer) per application, ESG vs FluidFaaS, per workload.
+// data transfer) per application, ESG vs FluidFaaS, per workload. The
+// tier × {ESG, FluidFaaS} grid executes as one parallel sweep.
 #include "bench/bench_util.h"
 
 using namespace fluidfaas;
@@ -7,13 +8,16 @@ using namespace fluidfaas;
 int main() {
   bench::Banner("Figure 14 — latency breakdown (left ESG, right FluidFaaS)",
                 "Fig. 14");
-  for (auto tier : {trace::WorkloadTier::kLight, trace::WorkloadTier::kMedium,
-                    trace::WorkloadTier::kHeavy}) {
-    auto cfg = bench::PaperConfig(tier);
-    cfg.system = harness::SystemKind::kEsg;
-    auto esg = harness::RunExperiment(cfg);
-    cfg.system = harness::SystemKind::kFluidFaas;
-    auto fluid = harness::RunExperiment(cfg);
+  harness::SweepSpec spec;
+  spec.base = bench::PaperConfig(trace::WorkloadTier::kLight);
+  spec.tiers = {trace::WorkloadTier::kLight, trace::WorkloadTier::kMedium,
+                trace::WorkloadTier::kHeavy};
+  spec.systems = {harness::SystemKind::kEsg, harness::SystemKind::kFluidFaas};
+  const harness::SweepOutcome sweep = harness::RunSweep(spec);
+
+  for (std::size_t t = 0; t < spec.tiers.size(); ++t) {
+    const auto& esg = sweep.cells[2 * t + 0].result;
+    const auto& fluid = sweep.cells[2 * t + 1].result;
 
     metrics::Table table({"Application", "System", "queue", "load", "exec",
                           "transfer", "total"});
@@ -29,7 +33,7 @@ int main() {
                                          bd.transfer)});
       }
     }
-    std::cout << "--- " << trace::Name(tier) << " workload ---\n";
+    std::cout << "--- " << trace::Name(spec.tiers[t]) << " workload ---\n";
     table.Print();
     const auto e = esg.recorder->MeanBreakdown();
     const auto q = fluid.recorder->MeanBreakdown();

@@ -1,6 +1,8 @@
 // Seed-replication study (extension): the headline medium/heavy comparisons
 // re-run across independent trace seeds, reported as mean ± std — evidence
-// that the figures are not one lucky draw.
+// that the figures are not one lucky draw. The replicas of each summary
+// execute concurrently through the sweep engine (harness::RunReplicated
+// fans its seed sequence out to harness::RunConfigs).
 #include "bench/bench_util.h"
 
 using namespace fluidfaas;

@@ -1,21 +1,28 @@
 // Table 6: resource cost comparison — MIG time and GPU time per workload,
-// normalized so FluidFaaS = 1 (lower is better).
+// normalized so FluidFaaS = 1 (lower is better). The tier × system grid
+// executes as one parallel sweep.
 #include "bench/bench_util.h"
 
 using namespace fluidfaas;
 
 int main() {
   bench::Banner("Table 6 — normalized MIG time and GPU time", "Table 6");
+  harness::SweepSpec spec;
+  spec.base = bench::PaperConfig(trace::WorkloadTier::kLight);
+  spec.tiers = {trace::WorkloadTier::kLight, trace::WorkloadTier::kMedium,
+                trace::WorkloadTier::kHeavy};
+  spec.systems = {harness::SystemKind::kInfless, harness::SystemKind::kEsg,
+                  harness::SystemKind::kFluidFaas};
+  const harness::SweepOutcome sweep = harness::RunSweep(spec);
+
   metrics::Table table({"Workload", "Metric", "INFless", "ESG", "FluidFaaS",
                         "Paper (INF/ESG)"});
   const char* paper_mig[3] = {"0.95 / 0.96", "0.93 / 0.99", "0.94 / 0.97"};
   const char* paper_gpu[3] = {"1.08 / 1.07", "1.06 / 1.05", "1.17 / 0.99"};
-  int t = 0;
-  for (auto tier : {trace::WorkloadTier::kLight, trace::WorkloadTier::kMedium,
-                    trace::WorkloadTier::kHeavy}) {
-    auto results = harness::RunComparison(bench::PaperConfig(tier));
-    const double fluid_mig = static_cast<double>(results[2].mig_time);
-    const double fluid_gpu = static_cast<double>(results[2].gpu_time);
+  for (std::size_t t = 0; t < spec.tiers.size(); ++t) {
+    const harness::ExperimentResult* results[3] = {
+        &sweep.cells[3 * t + 0].result, &sweep.cells[3 * t + 1].result,
+        &sweep.cells[3 * t + 2].result};
     // Normalize per completed request so saturated baselines that complete
     // less work are not flattered (the paper's systems complete the same
     // request set within the measurement window).
@@ -23,22 +30,20 @@ int main() {
       const auto n = r.recorder->completed_requests();
       return n ? static_cast<double>(v) / static_cast<double>(n) : 0.0;
     };
-    const double f_mig = per_req(results[2], results[2].mig_time);
-    const double f_gpu = per_req(results[2], results[2].gpu_time);
-    (void)fluid_mig;
-    (void)fluid_gpu;
-    std::vector<std::string> mig_row = {trace::Name(tier), "MIG time"};
-    std::vector<std::string> gpu_row = {trace::Name(tier), "GPU time"};
-    for (const auto& r : results) {
-      mig_row.push_back(
-          metrics::Fmt(per_req(r, r.mig_time) / f_mig, 2));
-      gpu_row.push_back(metrics::Fmt(per_req(r, r.gpu_time) / f_gpu, 2));
+    const double f_mig = per_req(*results[2], results[2]->mig_time);
+    const double f_gpu = per_req(*results[2], results[2]->gpu_time);
+    std::vector<std::string> mig_row = {trace::Name(spec.tiers[t]),
+                                        "MIG time"};
+    std::vector<std::string> gpu_row = {trace::Name(spec.tiers[t]),
+                                        "GPU time"};
+    for (const auto* r : results) {
+      mig_row.push_back(metrics::Fmt(per_req(*r, r->mig_time) / f_mig, 2));
+      gpu_row.push_back(metrics::Fmt(per_req(*r, r->gpu_time) / f_gpu, 2));
     }
     mig_row.push_back(paper_mig[t]);
     gpu_row.push_back(paper_gpu[t]);
     table.AddRow(mig_row);
     table.AddRow(gpu_row);
-    ++t;
   }
   table.Print();
   std::cout << "\nValues are per completed request, normalized to\n"

@@ -1,8 +1,20 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace fluidfaas {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes the final write of each completed line; formatting happens
+// outside the lock in each LogLine's own buffer.
+std::mutex& SinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+thread_local const std::string* t_run_tag = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,22 +32,38 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+ScopedRunTag::ScopedRunTag(std::string label)
+    : label_(std::move(label)), prev_(t_run_tag) {
+  t_run_tag = &label_;
+}
+
+ScopedRunTag::~ScopedRunTag() { t_run_tag = prev_; }
+
+const std::string* CurrentRunTag() { return t_run_tag; }
 
 namespace detail {
 
-LogLine::LogLine(LogLevel level, const char* tag)
-    : enabled_(level >= g_level && g_level != LogLevel::kOff) {
+LogLine::LogLine(LogLevel level, const char* tag) {
+  const LogLevel threshold = GetLogLevel();
+  enabled_ = level >= threshold && threshold != LogLevel::kOff;
   if (enabled_) {
-    os_ << "[" << LevelName(level) << "][" << tag << "] ";
+    os_ << "[" << LevelName(level) << "]";
+    if (t_run_tag != nullptr) os_ << "{" << *t_run_tag << "}";
+    os_ << "[" << tag << "] ";
   }
 }
 
 LogLine::~LogLine() {
   if (enabled_) {
     os_ << '\n';
-    std::cerr << os_.str();
+    const std::string line = os_.str();
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::cerr << line;
   }
 }
 

@@ -1,6 +1,11 @@
 // Minimal leveled logger. Simulation components log placement / eviction /
 // migration decisions at Debug level; benches run at Warn to keep output
 // parseable.
+//
+// Concurrency: the level is atomic and every finished line is written to
+// the sink under a mutex, so concurrent experiment runs (harness sweeps)
+// never interleave mid-line. A run installs a thread-local run tag
+// (ScopedRunTag) so lines from parallel runs stay attributable.
 #pragma once
 
 #include <iostream>
@@ -11,10 +16,29 @@ namespace fluidfaas {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide log threshold. Not thread-safe to mutate while worker
-/// threads are logging; set it once at startup.
+/// Process-wide log threshold. Atomic: safe to read from worker threads,
+/// though the conventional pattern is still to set it once at startup.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// RAII: prefix every log line emitted by the current thread with
+/// `{label}` until destruction. harness::RunContext installs one per run,
+/// so a parallel sweep's interleaved lines remain attributable to their
+/// grid cell. Nests; the innermost label wins.
+class ScopedRunTag {
+ public:
+  explicit ScopedRunTag(std::string label);
+  ~ScopedRunTag();
+  ScopedRunTag(const ScopedRunTag&) = delete;
+  ScopedRunTag& operator=(const ScopedRunTag&) = delete;
+
+ private:
+  std::string label_;
+  const std::string* prev_;
+};
+
+/// The current thread's run tag, or nullptr outside any run.
+const std::string* CurrentRunTag();
 
 namespace detail {
 

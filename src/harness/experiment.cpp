@@ -1,34 +1,10 @@
 #include "harness/experiment.h"
 
-#include <algorithm>
-#include <memory>
-
-#include "baselines/esg_platform.h"
 #include "common/error.h"
-#include "core/ffs_platform.h"
-#include "metrics/trace_exporter.h"
-#include "platform/platform.h"
-#include "platform/registry.h"
-#include "sim/fault_injector.h"
-#include "sim/simulator.h"
+#include "harness/run_context.h"
+#include "harness/sweep.h"
 
 namespace fluidfaas::harness {
-
-namespace {
-
-/// Make sure the built-in scheduler bundles are in the platform registry.
-/// Explicit (rather than static initializers in the scheduler TUs) so that
-/// static-library linking cannot silently drop a registration.
-void EnsureSchedulersRegistered() {
-  static const bool done = [] {
-    core::RegisterFluidFaasSchedulers();
-    baselines::RegisterBaselineSchedulers();
-    return true;
-  }();
-  (void)done;
-}
-
-}  // namespace
 
 const char* Name(SystemKind kind) {
   switch (kind) {
@@ -47,144 +23,23 @@ const char* Name(SystemKind kind) {
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  // --- cluster -------------------------------------------------------------
-  std::vector<std::vector<gpu::MigPartition>> parts = config.partitions;
-  if (parts.empty()) {
-    parts.assign(static_cast<std::size_t>(config.num_nodes),
-                 gpu::PartitionSchemeP1(config.gpus_per_node));
-  }
-  gpu::Cluster cluster(std::move(parts));
-
-  // --- workload ------------------------------------------------------------
-  trace::WorkloadParams wp;
-  wp.slo_scale = config.platform.slo_scale;
-  wp.duration = config.duration;
-  wp.load_factor = config.load_factor;
-  wp.seed = config.seed;
-  wp.max_stages = config.platform.max_stages;
-  trace::Workload workload =
-      trace::MakeWorkload(config.tier, cluster, wp);
-  if (!config.custom_trace.empty()) {
-    workload.trace.clear();
-    for (const trace::Invocation& inv : config.custom_trace) {
-      FFS_CHECK_MSG(inv.fn.valid() &&
-                        static_cast<std::size_t>(inv.fn.value) <
-                            workload.functions.size(),
-                    "custom trace references unknown function id " +
-                        ToString(inv.fn));
-      if (inv.time < config.duration) workload.trace.push_back(inv);
-    }
-    trace::SortTrace(workload.trace);
-    workload.offered_rps =
-        trace::MeanRps(workload.trace, config.duration);
-  }
-
-  // --- platform ------------------------------------------------------------
-  EnsureSchedulersRegistered();
-  sim::Simulator sim;
-  auto recorder = std::make_unique<metrics::Recorder>(cluster);
-  // The recorder is the first bus subscriber, so its view of every event
-  // precedes any observer attached afterwards.
-  recorder->SubscribeTo(sim.bus());
-  std::unique_ptr<metrics::TraceExporter> exporter;
-  if (!config.trace_out.empty()) {
-    exporter = std::make_unique<metrics::TraceExporter>();
-    std::vector<std::string> names;
-    for (const platform::FunctionSpec& f : workload.functions) {
-      names.push_back(f.name);
-    }
-    exporter->SetFunctionNames(std::move(names));
-    exporter->SubscribeTo(sim.bus());
-  }
-  platform::PlatformConfig pconfig = config.platform;
-  if (config.faults.timeout_scale > 0.0) {
-    pconfig.request_timeout_scale = config.faults.timeout_scale;
-  }
-  auto plat = std::make_unique<platform::PlatformCore>(
-      sim, cluster, workload.functions, pconfig,
-      platform::MakeSchedulerBundle(Name(config.system)));
-
-  // --- fault injection -----------------------------------------------------
-  std::unique_ptr<sim::FaultInjector> injector;
-  if (config.faults.rate > 0.0) {
-    sim::FaultPlan fp;
-    fp.rate = config.faults.rate;
-    fp.seed = config.faults.seed != 0 ? config.faults.seed
-                                      : config.seed ^ 0x9e3779b97f4a7c15ULL;
-    fp.mttr = config.faults.mttr;
-    fp.horizon = config.duration;
-    fp.num_slices = static_cast<int>(cluster.num_slices());
-    injector = std::make_unique<sim::FaultInjector>(sim, fp);
-    injector->Start();
-  }
-
-  // --- replay --------------------------------------------------------------
-  plat->Start();
-  for (const trace::Invocation& inv : workload.trace) {
-    sim.At(inv.time, [&plat, fn = inv.fn] { plat->Submit(fn); });
-  }
-  sim.RunUntil(config.duration);
-
-  // Drain the backlog: keep the platform's periodic machinery alive until
-  // every request reached a terminal state (completed, timed out mid-queue,
-  // or abandoned) or the drain cap is reached.
-  const SimTime cap = config.duration + config.drain_cap;
-  while (recorder->finished_requests() < recorder->total_requests() &&
-         sim.Now() < cap) {
-    sim.RunUntil(sim.Now() + Seconds(1.0));
-  }
-  if (injector) injector->Stop();
-  plat->Stop();
-
-  // --- metrics -------------------------------------------------------------
-  SimTime last_completion = config.duration;
-  for (const metrics::RequestRecord& r : recorder->records()) {
-    if (r.done()) last_completion = std::max(last_completion, r.completion);
-  }
-  recorder->Close(std::max(last_completion, sim.Now()));
-
-  ExperimentResult res;
-  res.system = Name(config.system);
-  res.tier = trace::Name(config.tier);
-  res.makespan = last_completion;
-  res.offered_rps = workload.offered_rps;
-  res.ideal_rps = workload.ideal_rps;
-  res.total_gpcs = cluster.TotalGpcs();
-  for (const platform::FunctionSpec& f : workload.functions) {
-    res.function_names.push_back(f.name);
-    res.function_slos.push_back(f.slo);
-  }
-  res.slo_hit_rate = recorder->SloHitRate();
-  res.throughput_rps = recorder->WindowedThroughput(config.duration);
-  res.goodput_rps = recorder->WindowedGoodput(config.duration);
-  res.timeouts = recorder->timeouts();
-  res.retries = recorder->retries_total();
-  res.abandoned = recorder->abandoned_requests();
-  res.recovered = recorder->RecoveredRequests();
-  res.instances_failed = recorder->instances_failed();
-  res.slices_failed = recorder->slices_failed();
-  res.mig_time = recorder->MigTime();
-  res.gpu_time = recorder->GpuTime();
-  const platform::SchedulerCounters sc = plat->scheduler_counters();
-  res.evictions = sc.evictions;
-  res.promotions = sc.promotions;
-  res.demotions = sc.demotions;
-  res.migrations = sc.migrations;
-  res.pipelines_launched = sc.pipelines_launched;
-  res.reconfigurations = sc.reconfigurations;
-  res.reconfiguration_blackout = sc.reconfiguration_blackout;
-  res.recorder = std::move(recorder);
-  if (exporter) exporter->WriteFile(config.trace_out);
-  return res;
+  RunContext ctx(config);
+  return ctx.Run();
 }
 
 ReplicatedSummary RunReplicated(ExperimentConfig config, int replicas) {
   FFS_CHECK(replicas >= 1);
-  ReplicatedSummary s;
-  s.replicas = replicas;
+  // The replica seeds form a deterministic sequence off the base seed, so
+  // the replicas are independent cells a pool can run concurrently.
+  std::vector<ExperimentConfig> cells;
+  cells.reserve(static_cast<std::size_t>(replicas));
   for (int i = 0; i < replicas; ++i) {
     config.seed = config.seed * 7919 + 17;  // distinct, deterministic seeds
-    auto r = RunExperiment(config);
+    cells.push_back(config);
+  }
+  ReplicatedSummary s;
+  s.replicas = replicas;
+  for (ExperimentResult& r : RunConfigs(cells)) {
     s.throughput_rps.Add(r.throughput_rps);
     s.slo_hit_rate.Add(r.slo_hit_rate);
     auto lats = r.recorder->LatenciesSeconds();
@@ -193,14 +48,15 @@ ReplicatedSummary RunReplicated(ExperimentConfig config, int replicas) {
   return s;
 }
 
-std::vector<ExperimentResult> RunComparison(ExperimentConfig config) {
-  std::vector<ExperimentResult> out;
+std::vector<ExperimentResult> RunComparison(ExperimentConfig config,
+                                            int jobs) {
+  std::vector<ExperimentConfig> cells;
   for (SystemKind kind :
        {SystemKind::kInfless, SystemKind::kEsg, SystemKind::kFluidFaas}) {
     config.system = kind;
-    out.push_back(RunExperiment(config));
+    cells.push_back(config);
   }
-  return out;
+  return RunConfigs(cells, jobs);
 }
 
 }  // namespace fluidfaas::harness

@@ -116,10 +116,16 @@ struct ExperimentResult {
 };
 
 /// Run one experiment to completion (trace + drain) and collect metrics.
+/// Thin wrapper over harness::RunContext (run_context.h), the
+/// shared-nothing unit that parallel sweeps (sweep.h) execute per cell.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
-/// Convenience: run all three systems on the same workload.
-std::vector<ExperimentResult> RunComparison(ExperimentConfig config);
+/// Convenience: run all three systems on the same workload (INFless, ESG,
+/// FluidFaaS, in that order). The three runs execute through the parallel
+/// sweep engine; results are ordered by system, never by completion.
+/// `jobs` <= 0 defers to FFS_JOBS / the hardware default (sweep.h).
+std::vector<ExperimentResult> RunComparison(ExperimentConfig config,
+                                            int jobs = 0);
 
 /// Seed-replication summary: the same configuration run across `replicas`
 /// trace seeds, aggregated so benches can report mean ± std instead of a

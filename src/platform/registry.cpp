@@ -1,6 +1,7 @@
 #include "platform/registry.h"
 
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "common/error.h"
@@ -10,10 +11,18 @@ namespace fluidfaas::platform {
 namespace {
 
 // std::map keeps RegisteredSchedulers() deterministic; function-local so
-// registration from any static-init context is safe.
+// registration from any static-init context is safe. Guarded by
+// RegistryMutex(): parallel sweep workers resolve bundles concurrently
+// while late registrations (tests, out-of-tree schedulers) may still
+// mutate the map.
 std::map<std::string, PolicyBundleFactory>& Factories() {
   static std::map<std::string, PolicyBundleFactory> factories;
   return factories;
+}
+
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
 }
 
 }  // namespace
@@ -21,19 +30,30 @@ std::map<std::string, PolicyBundleFactory>& Factories() {
 void RegisterScheduler(const std::string& name, PolicyBundleFactory factory) {
   FFS_CHECK_MSG(!name.empty(), "scheduler name must be non-empty");
   FFS_CHECK_MSG(factory != nullptr, "scheduler factory must be callable");
+  std::lock_guard<std::mutex> lock(RegistryMutex());
   Factories()[name] = std::move(factory);
 }
 
 bool HasScheduler(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
   return Factories().count(name) > 0;
 }
 
 PolicyBundle MakeSchedulerBundle(const std::string& name) {
-  auto it = Factories().find(name);
-  if (it == Factories().end()) {
+  // Copy the factory out under the lock, but build the bundle outside it:
+  // factories can be arbitrarily expensive and must not serialize parallel
+  // sweep workers (nor deadlock a factory that itself consults the
+  // registry).
+  PolicyBundleFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Factories().find(name);
+    if (it != Factories().end()) factory = it->second;
+  }
+  if (factory == nullptr) {
     throw FfsError("unknown scheduler: " + name);
   }
-  PolicyBundle bundle = it->second();
+  PolicyBundle bundle = factory();
   FFS_CHECK_MSG(bundle.routing != nullptr && bundle.scaling != nullptr,
                 "scheduler '" + name +
                     "' produced a bundle without routing/scaling policies");
@@ -42,6 +62,7 @@ PolicyBundle MakeSchedulerBundle(const std::string& name) {
 }
 
 std::vector<std::string> RegisteredSchedulers() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
   std::vector<std::string> names;
   for (const auto& [name, factory] : Factories()) names.push_back(name);
   return names;

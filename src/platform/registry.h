@@ -9,6 +9,11 @@
 // Registration is explicit (harness calls the builtin Register* functions
 // once) rather than via static initializers, which static-library linking
 // would silently drop.
+//
+// Thread-safety: all four functions are safe to call concurrently — the
+// factory map is mutex-guarded so parallel sweep workers can resolve
+// bundles while registrations land. Factories themselves run outside the
+// lock and must be independently thread-safe (the builtin ones are pure).
 #pragma once
 
 #include <functional>

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 namespace fluidfaas::harness {
 namespace {
@@ -133,6 +134,71 @@ TEST(HarnessDeterminismTest, DifferentFaultSeedsDisagree) {
       a.instances_failed == c.instances_failed &&
       a.slices_failed == c.slices_failed;
   EXPECT_FALSE(identical);
+}
+
+// --- parallel sweeps --------------------------------------------------------
+
+SweepSpec SmallSweep() {
+  SweepSpec spec;
+  spec.base = SmallConfig();
+  spec.base.duration = Seconds(30);
+  spec.systems = {SystemKind::kInfless, SystemKind::kEsg,
+                  SystemKind::kFluidFaas};
+  spec.seeds = {1, 2};
+  return spec;
+}
+
+std::string SweepJson(const SweepOutcome& outcome) {
+  std::ostringstream os;
+  WriteSweepJson(outcome, os, /*include_timing=*/false);
+  return os.str();
+}
+
+// The acceptance guarantee of the sweep engine: the deterministic payload of
+// BENCH_sweep.json is byte-identical no matter how many workers ran the
+// grid, because results land by grid index, never by completion order.
+TEST(HarnessDeterminismTest, SweepJsonIsByteIdenticalAcrossJobCounts) {
+  const SweepOutcome serial = RunSweep(SmallSweep(), 1);
+  const std::string reference = SweepJson(serial);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_NE(reference.find("\"fluidfaas.sweep.v1\""), std::string::npos);
+
+  for (int jobs : {4, 8}) {
+    const SweepOutcome parallel = RunSweep(SmallSweep(), jobs);
+    EXPECT_EQ(SweepJson(parallel), reference) << "jobs=" << jobs;
+
+    // Beyond the serialized document: the full recorder state of every cell
+    // matches the serial run, down to each per-request latency.
+    ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+      const SweepCell& a = serial.cells[i];
+      const SweepCell& b = parallel.cells[i];
+      EXPECT_EQ(a.point.index, b.point.index);
+      EXPECT_EQ(a.point.system, b.point.system);
+      EXPECT_EQ(a.point.seed, b.point.seed);
+      EXPECT_EQ(a.result.slo_hit_rate, b.result.slo_hit_rate) << i;
+      EXPECT_EQ(a.result.throughput_rps, b.result.throughput_rps) << i;
+      EXPECT_EQ(a.result.makespan, b.result.makespan) << i;
+      EXPECT_EQ(a.result.recorder->LatenciesSeconds(),
+                b.result.recorder->LatenciesSeconds())
+          << i;
+    }
+  }
+}
+
+// The timing block is the only nondeterministic part of the document, and
+// only present when asked for.
+TEST(HarnessDeterminismTest, SweepTimingBlockIsOptIn) {
+  SweepSpec spec;
+  spec.base = SmallConfig();
+  spec.base.duration = Seconds(10);
+  const SweepOutcome o = RunSweep(spec, 1);
+
+  std::ostringstream with_timing;
+  WriteSweepJson(o, with_timing, /*include_timing=*/true);
+  EXPECT_NE(with_timing.str().find("\"timing\""), std::string::npos);
+  EXPECT_NE(with_timing.str().find("\"speedup\""), std::string::npos);
+  EXPECT_EQ(SweepJson(o).find("\"timing\""), std::string::npos);
 }
 
 TEST(HarnessDeterminismTest, FaultyRunsStillDrainAndAccountEveryRequest) {

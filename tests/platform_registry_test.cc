@@ -1,0 +1,96 @@
+// The scheduler registry is shared by every parallel sweep worker; these
+// tests pin its behavior under concurrent resolution and registration.
+// (Run under tools/check.sh tsan for the data-race proof; here we assert
+// functional correctness: no lost registrations, no torn bundles.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "harness/run_context.h"
+#include "platform/registry.h"
+
+namespace fluidfaas::platform {
+namespace {
+
+TEST(PlatformRegistryTest, UnknownSchedulerThrows) {
+  EXPECT_THROW(MakeSchedulerBundle("no-such-scheduler"), FfsError);
+  EXPECT_FALSE(HasScheduler("no-such-scheduler"));
+}
+
+TEST(PlatformRegistryTest, RegisterRejectsEmptyNameAndNullFactory) {
+  EXPECT_THROW(RegisterScheduler("", [] { return PolicyBundle{}; }),
+               FfsError);
+  EXPECT_THROW(RegisterScheduler("null-factory", nullptr), FfsError);
+}
+
+TEST(PlatformRegistryTest, BuiltinSchedulersResolveAfterEnsure) {
+  harness::EnsureBuiltinSchedulersRegistered();
+  for (const char* name :
+       {"FluidFaaS", "ESG", "INFless", "Repartition", "FluidFaaS-dist"}) {
+    EXPECT_TRUE(HasScheduler(name)) << name;
+    PolicyBundle bundle = MakeSchedulerBundle(name);
+    EXPECT_NE(bundle.routing, nullptr) << name;
+    EXPECT_NE(bundle.scaling, nullptr) << name;
+  }
+}
+
+// Regression test for the pre-refactor unsynchronized std::map: many threads
+// resolving, probing, listing, and registering at once. Every resolve must
+// return a complete bundle and every registration must land.
+TEST(PlatformRegistryTest, ConcurrentResolveAndRegisterIsSafe) {
+  harness::EnsureBuiltinSchedulersRegistered();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> resolved{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &resolved, &failed] {
+      for (int i = 0; i < kIters; ++i) {
+        switch ((t + i) % 4) {
+          case 0: {
+            PolicyBundle b = MakeSchedulerBundle("FluidFaaS");
+            if (b.routing == nullptr || b.scaling == nullptr) {
+              failed = true;
+            }
+            resolved.fetch_add(1);
+            break;
+          }
+          case 1:
+            if (!HasScheduler("ESG")) failed = true;
+            break;
+          case 2:
+            if (RegisteredSchedulers().empty()) failed = true;
+            break;
+          case 3:
+            // Same-name re-registration from several threads: last writer
+            // wins, never a torn factory.
+            RegisterScheduler(
+                "test-contender-" + std::to_string(t % 2), [] {
+                  PolicyBundle b = MakeSchedulerBundle("FluidFaaS");
+                  b.name = "test-contender";
+                  return b;
+                });
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(resolved.load(), 0);
+  EXPECT_TRUE(HasScheduler("test-contender-0"));
+  EXPECT_TRUE(HasScheduler("test-contender-1"));
+  PolicyBundle b = MakeSchedulerBundle("test-contender-0");
+  EXPECT_EQ(b.name, "test-contender");
+}
+
+}  // namespace
+}  // namespace fluidfaas::platform

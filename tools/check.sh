@@ -11,6 +11,7 @@
 #   tools/check.sh plain    # default build only
 #   tools/check.sh asan     # sanitized build only
 #   tools/check.sh faults   # sanitized fault-sweep smoke only
+#   tools/check.sh tsan     # ThreadSanitizer parallel-sweep smoke only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,17 +37,33 @@ run_faults() {
       FFS_FAULT_SWEEP_OUT=fault_sweep_smoke.json ./bench/fault_sweep )
 }
 
+# Short parallel sweep under ThreadSanitizer: several worker threads run
+# shared-nothing RunContexts concurrently while resolving schedulers through
+# the mutex-guarded registry and logging through the shared sink — exactly
+# the surfaces a data race would hit. TSan halts with a non-zero exit on the
+# first report, so a green run means zero reports.
+run_tsan() {
+  echo "=== build-tsan: parallel sweep smoke under ThreadSanitizer ==="
+  cmake -B build-tsan -S . -DFFS_TSAN=ON
+  cmake --build build-tsan -j "${jobs}" --target fluidfaas
+  ( cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ./tools/fluidfaas sweep --tiers light --duration 20 \
+        --seeds 1,2 --jobs 4 --out sweep_tsan_smoke.json )
+}
+
 case "${mode}" in
   plain)  run_pass build ;;
   asan)   run_pass build-asan -DFFS_SANITIZE=ON ;;
   faults) run_faults ;;
+  tsan)   run_tsan ;;
   all)
     run_pass build
     run_pass build-asan -DFFS_SANITIZE=ON
     run_faults
+    run_tsan
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|all|faults]" >&2
+    echo "usage: tools/check.sh [plain|asan|all|faults|tsan]" >&2
     exit 2
     ;;
 esac

@@ -5,7 +5,12 @@
 //                    [--duration SECONDS] [--load FRACTION] [--seed N]
 //                    [--partition SPEC] [--csv FILE] [--trace-out FILE]
 //                    [--fault-rate R] [--fault-seed N] [--mttr SECONDS]
-//                    [--timeout-scale S]
+//                    [--timeout-scale S] [--jobs N]
+//   fluidfaas sweep [--systems a,b,...|all] [--tiers light,medium,...]
+//                    [--seeds 1,2,...] [--loads 0.2,0.5,...]
+//                    [--fault-rates 0,0.01,...] [--nodes N] [--gpus N]
+//                    [--duration SECONDS] [--jobs N] [--out FILE]
+//                    [--no-timing 1]
 //   fluidfaas trace [--functions N] [--rps R] [--duration SECONDS]
 //                    [--seed N] [--out FILE]
 //   fluidfaas plan  [--app 0..3 | --llm 7b|13b|34b]
@@ -16,11 +21,18 @@
 // platform(s) and prints the comparison table; `--csv` additionally dumps
 // per-request records and `--trace-out` writes a Chrome-trace JSON of the
 // run (load it in chrome://tracing or https://ui.perfetto.dev; single
-// system only). `plan` prints the CV-ranked pipeline candidates for
-// one application. `partitions` enumerates every maximal A100 MIG
-// configuration under the placement rules.
+// system only). `sweep` executes a declarative grid (system × tier × seed
+// × load × fault rate) on a worker pool — deterministic output at any
+// --jobs — and writes the BENCH_sweep.json artifact. `plan` prints the
+// CV-ranked pipeline candidates for one application. `partitions`
+// enumerates every maximal A100 MIG configuration under the placement
+// rules. Both multi-run commands honor --jobs / FFS_JOBS (default:
+// hardware threads).
 #include <fstream>
 #include <iostream>
+#include <sstream>
+
+#include "harness/sweep.h"
 
 #include "core/partitioner.h"
 #include "harness/experiment.h"
@@ -39,8 +51,9 @@ namespace {
 
 int Usage() {
   std::cout <<
-      "usage: fluidfaas <run|trace|plan|partitions> [--flag value ...]\n"
+      "usage: fluidfaas <run|sweep|trace|plan|partitions> [--flag value ...]\n"
       "  run        replay a workload through one or all platforms\n"
+      "  sweep      run a system/tier/seed/load/fault-rate grid in parallel\n"
       "  trace      synthesize an Azure-like invocation trace (CSV)\n"
       "  plan       show CV-ranked pipeline candidates for an application\n"
       "  partitions enumerate maximal A100 MIG configurations\n"
@@ -53,6 +66,33 @@ trace::WorkloadTier ParseTier(const std::string& s) {
   if (s == "medium") return trace::WorkloadTier::kMedium;
   if (s == "heavy") return trace::WorkloadTier::kHeavy;
   throw FfsError("unknown tier: " + s);
+}
+
+harness::SystemKind ParseSystem(const std::string& s) {
+  if (s == "fluidfaas") return harness::SystemKind::kFluidFaas;
+  if (s == "esg") return harness::SystemKind::kEsg;
+  if (s == "infless") return harness::SystemKind::kInfless;
+  if (s == "repartition") return harness::SystemKind::kRepartition;
+  if (s == "distributed") return harness::SystemKind::kFluidFaasDistributed;
+  throw FfsError("unknown system: " + s);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int ParseJobs(const CliArgs& args) {
+  const long jobs = args.GetInt("jobs", 0);
+  if (args.Has("jobs") && jobs < 1) {
+    throw FfsError("--jobs must be a positive integer");
+  }
+  return static_cast<int>(jobs);  // 0 = FFS_JOBS / hardware default
 }
 
 int CmdRun(const CliArgs& args) {
@@ -93,16 +133,9 @@ int CmdRun(const CliArgs& args) {
   if (system == "all") {
     FFS_CHECK_MSG(cfg.trace_out.empty(),
                   "--trace-out requires a single --system (not 'all')");
-    results = harness::RunComparison(cfg);
+    results = harness::RunComparison(cfg, ParseJobs(args));
   } else {
-    if (system == "fluidfaas") cfg.system = harness::SystemKind::kFluidFaas;
-    else if (system == "esg") cfg.system = harness::SystemKind::kEsg;
-    else if (system == "infless") cfg.system = harness::SystemKind::kInfless;
-    else if (system == "repartition")
-      cfg.system = harness::SystemKind::kRepartition;
-    else if (system == "distributed")
-      cfg.system = harness::SystemKind::kFluidFaasDistributed;
-    else throw FfsError("unknown system: " + system);
+    cfg.system = ParseSystem(system);
     results.push_back(harness::RunExperiment(cfg));
     if (!cfg.trace_out.empty()) {
       std::cout << "Chrome trace written to " << cfg.trace_out << "\n";
@@ -171,6 +204,73 @@ int CmdRun(const CliArgs& args) {
     }
     std::cout << "per-request records written to " << path << "\n";
   }
+  return 0;
+}
+
+// `sweep`: declarative grid over tier x load x fault-rate x seed x system,
+// executed by the parallel sweep engine. Cells print (and land in the JSON
+// artifact) in grid order regardless of --jobs, so output is reproducible.
+int CmdSweep(const CliArgs& args) {
+  harness::SweepSpec spec;
+  spec.base.num_nodes = static_cast<int>(args.GetInt("nodes", 2));
+  spec.base.gpus_per_node = static_cast<int>(args.GetInt("gpus", 8));
+  spec.base.duration = Seconds(args.GetDouble("duration", 150.0));
+  spec.base.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1234));
+
+  const std::string systems = args.GetString("systems", "all");
+  if (systems == "all") {
+    spec.systems = {harness::SystemKind::kInfless, harness::SystemKind::kEsg,
+                    harness::SystemKind::kFluidFaas};
+  } else {
+    for (const auto& s : SplitCommas(systems)) {
+      spec.systems.push_back(ParseSystem(s));
+    }
+  }
+  for (const auto& t : SplitCommas(args.GetString("tiers", "medium"))) {
+    spec.tiers.push_back(ParseTier(t));
+  }
+  for (const auto& s : SplitCommas(args.GetString("seeds", ""))) {
+    spec.seeds.push_back(std::stoull(s));
+  }
+  for (const auto& l : SplitCommas(args.GetString("loads", ""))) {
+    spec.load_factors.push_back(std::stod(l));
+  }
+  for (const auto& f : SplitCommas(args.GetString("fault-rates", ""))) {
+    spec.fault_rates.push_back(std::stod(f));
+  }
+  FFS_CHECK_MSG(!spec.systems.empty() && !spec.tiers.empty(),
+                "sweep needs at least one system and one tier");
+
+  const harness::SweepOutcome sweep =
+      harness::RunSweep(spec, ParseJobs(args));
+
+  metrics::Table table({"tier", "load", "faults", "seed", "system",
+                        "throughput", "SLO hit", "P95"});
+  for (const auto& cell : sweep.cells) {
+    const auto& r = cell.result;
+    auto lats = r.recorder->LatenciesSeconds();
+    const double p95 = lats.empty() ? 0.0 : Percentile(lats, 0.95);
+    table.AddRow({r.tier,
+                  cell.point.load_factor > 0.0
+                      ? metrics::Fmt(cell.point.load_factor, 2)
+                      : std::string("tier"),
+                  metrics::Fmt(cell.point.fault_rate, 2),
+                  std::to_string(cell.point.seed), r.system,
+                  metrics::Fmt(r.throughput_rps, 1) + " rps",
+                  metrics::FmtPercent(r.slo_hit_rate),
+                  metrics::Fmt(p95, 2) + "s"});
+  }
+  std::cout << sweep.cells.size() << " cells, jobs=" << sweep.jobs << ", "
+            << metrics::Fmt(sweep.wall_seconds, 2) << "s wall ("
+            << metrics::Fmt(sweep.Speedup(), 2) << "x vs serial cell time)\n";
+  table.Print();
+
+  const bool timing = args.GetInt("no-timing", 0) == 0;
+  const std::string path =
+      args.Has("out") ? args.GetString("out", "")
+                      : harness::SweepOutPath("BENCH_sweep.json");
+  harness::WriteSweepJsonFile(sweep, path, timing);
+  std::cout << "sweep artifact written to " << path << "\n";
   return 0;
 }
 
@@ -277,7 +377,13 @@ int main(int argc, char** argv) {
                             {"tier", "system", "nodes", "gpus", "duration",
                              "load", "seed", "partition", "csv", "trace",
                              "json", "trace-out", "fault-rate", "fault-seed",
-                             "mttr", "timeout-scale"}));
+                             "mttr", "timeout-scale", "jobs"}));
+    }
+    if (cmd == "sweep") {
+      return CmdSweep(CliArgs(argc, argv, 2,
+                              {"systems", "tiers", "seeds", "loads",
+                               "fault-rates", "nodes", "gpus", "duration",
+                               "seed", "jobs", "out", "no-timing"}));
     }
     if (cmd == "trace") {
       return CmdTrace(CliArgs(argc, argv, 2,
