@@ -46,7 +46,7 @@ int main() {
 
   metrics::Table table({"rate (/s)", "System", "goodput", "SLO hit",
                         "vs rate 0", "inst fail", "slice fail", "retries",
-                        "recovered", "abandoned"});
+                        "recovered", "abandoned", "plans", "aborted"});
 
   JsonWriter w;
   w.BeginArray();
@@ -70,7 +70,9 @@ int main() {
                   std::to_string(r.slices_failed),
                   std::to_string(r.retries),
                   std::to_string(r.recovered),
-                  std::to_string(r.abandoned)});
+                  std::to_string(r.abandoned),
+                  std::to_string(r.plans_committed + r.plans_aborted),
+                  std::to_string(r.plans_aborted)});
     w.BeginObject();
     w.Key("fault_rate").Value(rate);
     w.Key("system").Value(r.system);
@@ -84,6 +86,15 @@ int main() {
     w.Key("retries").Value(r.retries);
     w.Key("recovered").Value(r.recovered);
     w.Key("abandoned").Value(r.abandoned);
+    w.Key("plans_committed").Value(r.plans_committed);
+    w.Key("plans_aborted").Value(r.plans_aborted);
+    w.Key("plan_conflict_rate").Value(r.plan_conflict_rate);
+    w.Key("plan_aborts_by_cause").BeginObject();
+    for (int c = 1; c < sim::kNumPlanAbortCauses; ++c) {
+      w.Key(sim::Name(static_cast<sim::PlanAbortCause>(c)))
+          .Value(r.plan_aborts_by_cause[static_cast<std::size_t>(c)]);
+    }
+    w.EndObject();
     w.EndObject();
   }
   table.Print();

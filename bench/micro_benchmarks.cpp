@@ -3,14 +3,19 @@
 // cluster, the ESG A* search, and the SPSC runtime channel.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <thread>
 
 #include "baselines/esg_search.h"
 #include "common/rng.h"
 #include "core/partitioner.h"
 #include "core/pipeline.h"
+#include "gpu/cluster_view.h"
 #include "model/synthetic.h"
 #include "model/zoo.h"
+#include "platform/placement.h"
+#include "platform/platform.h"
+#include "platform/policy.h"
 #include "runtime/spsc_ring.h"
 #include "sim/simulator.h"
 
@@ -136,6 +141,96 @@ void BM_SpscRingThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpscRingThroughput)->Arg(256)->Arg(4096)->Arg(65536);
+
+// --- Placement transactions (DESIGN.md §8) ----------------------------------
+
+platform::PolicyBundle InertBundle() {
+  struct Reject final : platform::RoutingPolicy {
+    bool Route(platform::PlatformCore&, RequestId, FunctionId) override {
+      return false;
+    }
+  };
+  struct Noop final : platform::ScalingPolicy {
+    void Tick(platform::PlatformCore&) override {}
+  };
+  platform::PolicyBundle b;
+  b.name = "micro-bench";
+  b.routing = std::make_unique<Reject>();
+  b.scaling = std::make_unique<Noop>();
+  return b;
+}
+
+std::vector<platform::FunctionSpec> BenchFunctions() {
+  std::vector<platform::FunctionSpec> fns;
+  int id = 0;
+  for (auto& dag : model::BuildStudyApps(model::Variant::kSmall)) {
+    const int app = id;
+    fns.push_back(platform::MakeFunctionSpec(FunctionId(id++), app,
+                                             model::Variant::kSmall, dag,
+                                             1.5));
+  }
+  return fns;
+}
+
+// Planner throughput: view snapshot -> plan -> Commit -> retire, the full
+// placement-transaction round trip a scheduler performs per decision.
+void BM_PlacementPlanCommit(benchmark::State& state) {
+  sim::Simulator sim;
+  auto cluster = gpu::Cluster::Uniform(2, 8, gpu::DefaultPartition());
+  platform::PlatformCore plat(sim, cluster, BenchFunctions(),
+                              platform::PlatformConfig{}, InertBundle());
+  const auto& dag = plat.function(FunctionId(0)).dag;
+  for (auto _ : state) {
+    gpu::ClusterView view(cluster);
+    auto plan = core::MonolithicPlanOnSmallestSlice(dag, view);
+    auto result = plat.Commit(
+        platform::SpawnPlan(FunctionId(0), std::move(*plan), true));
+    benchmark::DoNotOptimize(result.spawned.front());
+    sim.Run();  // drain the load so the instance is retirable
+    plat.RetireInstance(result.spawned.front());
+  }
+  state.SetItemsProcessed(state.iterations());  // plans/sec
+}
+BENCHMARK(BM_PlacementPlanCommit);
+
+// Commit throughput with live-state drift between plan and commit: the
+// planned slice fails with probability range(0)% so a matching fraction of
+// commits must detect the conflict and abort cleanly. conflict_rate reports
+// the observed abort fraction.
+void BM_PlacementCommitUnderFaults(benchmark::State& state) {
+  const double fault_rate = static_cast<double>(state.range(0)) / 100.0;
+  sim::Simulator sim;
+  auto cluster = gpu::Cluster::Uniform(1, 4, gpu::DefaultPartition());
+  platform::PlatformCore plat(sim, cluster, BenchFunctions(),
+                              platform::PlatformConfig{}, InertBundle());
+  const auto& dag = plat.function(FunctionId(0)).dag;
+  Rng rng(42);
+  std::int64_t attempts = 0;
+  std::int64_t aborted = 0;
+  for (auto _ : state) {
+    gpu::ClusterView view(cluster);
+    auto plan = core::MonolithicPlanOnSmallestSlice(dag, view);
+    const SliceId target = plan->stages.front().slice;
+    const bool faulted = rng.Chance(fault_rate);
+    if (faulted) cluster.MarkFailed(target);
+    ++attempts;
+    auto result = plat.Commit(
+        platform::SpawnPlan(FunctionId(0), std::move(*plan), true));
+    if (result.ok()) {
+      sim.Run();
+      plat.RetireInstance(result.spawned.front());
+    } else {
+      ++aborted;
+    }
+    if (faulted) cluster.Repair(target);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["conflict_rate"] =
+      attempts == 0 ? 0.0
+                    : static_cast<double>(aborted) /
+                          static_cast<double>(attempts);
+}
+BENCHMARK(BM_PlacementCommitUnderFaults)->Arg(0)->Arg(10)->Arg(30);
 
 }  // namespace
 }  // namespace fluidfaas

@@ -19,6 +19,7 @@
 #include "core/pipeline.h"
 #include "metrics/report.h"
 #include "model/zoo.h"
+#include "platform/placement.h"
 #include "platform/registry.h"
 #include "trace/workload.h"
 
@@ -48,8 +49,10 @@ class RandomRouting final : public platform::RoutingPolicy {
           0, static_cast<std::int64_t>(free.size()) - 1))];
       auto plan = core::MonolithicPlanOnSlice(core.function(fn).dag,
                                               core.cluster(), pick);
-      insts.push_back(core.LaunchInstance(core.function(fn), std::move(*plan),
-                                          core.IsWarm(fn)));
+      const platform::CommitResult result = core.Commit(
+          platform::SpawnPlan(fn, std::move(*plan), core.IsWarm(fn)));
+      if (!result.ok()) return false;
+      insts.push_back(result.spawned.front());
     }
     auto* inst = insts[static_cast<std::size_t>(
         rng_.UniformInt(0, static_cast<std::int64_t>(insts.size()) - 1))];

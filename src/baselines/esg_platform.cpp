@@ -7,6 +7,8 @@
 #include "baselines/repartition_platform.h"
 #include "common/logging.h"
 #include "core/pipeline.h"
+#include "gpu/cluster_view.h"
+#include "platform/placement.h"
 #include "platform/registry.h"
 
 namespace fluidfaas::baselines {
@@ -71,17 +73,23 @@ int EsgState::ScaleUp(platform::PlatformCore& core,
     fallback.chosen.push_back(best->profile);
     result = fallback;
   }
-  int launched = 0;
+  // One transaction for the whole deployment: each AddSpawn reserves its
+  // slice in the shared view, so later profiles in `chosen` plan against
+  // what this very scale-up already claimed — no post-hoc "raced with
+  // another function" re-check needed.
+  gpu::ClusterView view(core.cluster());
+  platform::PlacementPlan txn;
   for (gpu::MigProfile p : result->chosen) {
-    const auto free = core.cluster().FreeSlices(p);
-    if (free.empty()) continue;  // raced with another function this tick
-    auto plan = core::MonolithicPlanOnSlice(spec.dag, core.cluster(),
-                                            free.front());
+    const auto free = view.FreeSlices(p);
+    if (free.empty()) continue;  // inventory exhausted by earlier spawns
+    auto plan = core::MonolithicPlanOnSlice(spec.dag, view, free.front());
     if (!plan) continue;
-    core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
-    ++launched;
+    platform::AddSpawn(txn, view, spec.id, std::move(*plan),
+                       core.IsWarm(spec.id));
   }
-  return launched;
+  if (txn.empty()) return 0;
+  const platform::CommitResult result_commit = core.Commit(txn);
+  return result_commit.ok() ? txn.NumSpawns() : 0;
 }
 
 bool EsgRouting::Route(platform::PlatformCore& core, RequestId rid,
@@ -125,12 +133,13 @@ bool InflessRouting::Route(platform::PlatformCore& core, RequestId rid,
   std::vector<Instance*> insts = core.InstancesOf(fn);
 
   if (insts.empty()) {
-    auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
-    if (!sid) return false;
-    auto plan = core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
+    auto plan =
+        core::MonolithicPlanOnSmallestSlice(spec.dag, core.cluster());
     if (!plan) return false;
-    insts.push_back(
-        core.LaunchInstance(spec, std::move(*plan), core.IsWarm(fn)));
+    const platform::CommitResult result = core.Commit(
+        platform::SpawnPlan(fn, std::move(*plan), core.IsWarm(fn)));
+    if (!result.ok()) return false;
+    insts.push_back(result.spawned.front());
   }
 
   // Least outstanding work, no SLO-awareness in the pick.
@@ -154,13 +163,13 @@ void InflessScaling::Tick(platform::PlatformCore& core) {
     int guard = 0;
     while (rate > core.config().scaleup_load_factor * capacity &&
            guard++ < 8) {
-      auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
-      if (!sid) break;
-      auto plan = core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
+      auto plan =
+          core::MonolithicPlanOnSmallestSlice(spec.dag, core.cluster());
       if (!plan) break;
-      Instance* inst =
-          core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
-      capacity += inst->CapacityRps();
+      const platform::CommitResult result = core.Commit(platform::SpawnPlan(
+          spec.id, std::move(*plan), core.IsWarm(spec.id)));
+      if (!result.ok()) break;
+      capacity += result.spawned.front()->CapacityRps();
     }
   }
 }

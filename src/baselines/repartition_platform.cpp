@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/pipeline.h"
+#include "platform/placement.h"
 #include "sim/events.h"
 
 namespace fluidfaas::baselines {
@@ -43,29 +44,27 @@ gpu::MigPartition BestRepartitionFor(Bytes needed_memory) {
 
 Instance* RepartitionState::TryLaunch(platform::PlatformCore& core,
                                       const platform::FunctionSpec& spec) {
-  auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
-  if (!sid) return nullptr;
-  auto plan = core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
+  auto plan = core::MonolithicPlanOnSmallestSlice(spec.dag, core.cluster());
   if (!plan) return nullptr;
-  return core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
+  const platform::CommitResult result = core.Commit(
+      platform::SpawnPlan(spec.id, std::move(*plan), core.IsWarm(spec.id)));
+  return result.ok() ? result.spawned.front() : nullptr;
 }
 
 void RepartitionState::ExecuteReconfig(platform::PlatformCore& core,
                                        GpuId gpu_id, Bytes needed_memory) {
   const gpu::MigPartition target = BestRepartitionFor(needed_memory);
-  const std::vector<SliceId> fresh =
-      core.cluster().RepartitionGpu(gpu_id, target);
-  const SimTime now = core.simulator().Now();
   const SimDuration cost = reconfig.Cost(/*checkpointed_state=*/0);
-  // Subscribers (the Recorder in particular) re-sync their slice tables off
-  // this event, so it must precede the sentinel SliceBound announcements.
-  core.bus().Publish(sim::PartitionReconfigured{gpu_id, now, target.ToString(),
-                                               cost});
-  // Block the fresh slices for the checkpoint/repartition/resume window.
-  for (SliceId sid : fresh) {
-    core.cluster().Bind(sid, ReconfigSentinel(gpu_id));
-    core.bus().Publish(sim::SliceBound{sid, ReconfigSentinel(gpu_id), now});
-  }
+  const InstanceId sentinel = ReconfigSentinel(gpu_id);
+  // The whole swap — retire the old slice ids, mint the new layout, and
+  // sentinel-bind the fresh slices for the blackout — is one transaction;
+  // Commit aborts it with kGpuNotIdle if anything landed on the GPU since
+  // the caller saw it idle.
+  platform::PlacementPlan txn;
+  txn.actions.push_back(
+      platform::RepartitionAction{gpu_id, target, cost, sentinel});
+  const platform::CommitResult result = core.Commit(txn);
+  if (!result.ok()) return;  // GPU no longer idle; a later tick retries
   blackout_total += cost;
   ++reconfigurations;
   reconfiguring.insert(gpu_id.value);
@@ -73,12 +72,8 @@ void RepartitionState::ExecuteReconfig(platform::PlatformCore& core,
       << "GPU " << gpu_id.value << " -> " << target.ToString()
       << ", blackout " << ToSeconds(cost) << "s";
   core.simulator().After(cost, [&core, self = shared_from_this(), gpu_id,
-                                fresh] {
-    const SimTime t = core.simulator().Now();
-    for (SliceId sid : fresh) {
-      core.cluster().Release(sid, ReconfigSentinel(gpu_id));
-      core.bus().Publish(sim::SliceReleased{sid, ReconfigSentinel(gpu_id), t});
-    }
+                                fresh = result.fresh_slices, sentinel] {
+    core.FinishRepartition(fresh, sentinel);
     self->reconfiguring.erase(gpu_id.value);
     core.DispatchPending();
   });

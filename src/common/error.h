@@ -8,12 +8,43 @@
 
 namespace fluidfaas {
 
+/// Machine-readable classification of a failure. Most checks raise the
+/// generic code; subsystem boundaries that callers are expected to handle
+/// programmatically (gpu::Cluster occupancy, placement commits) attach a
+/// specific one so tests and recovery paths can dispatch on it instead of
+/// parsing message strings.
+enum class ErrorCode {
+  kGeneric = 0,
+  kSliceOccupied,   // Bind on a slice that already has an occupant
+  kSliceFailed,     // Bind on a faulted slice before Repair
+  kSliceRetired,    // slice id retired by a repartition
+  kNotOccupant,     // Release by an instance that does not hold the slice
+};
+
 /// Thrown on violated preconditions / invariants in library code. Simulation
 /// code prefers throwing over aborting so tests can assert on failures.
 class FfsError : public std::runtime_error {
  public:
-  explicit FfsError(const std::string& what) : std::runtime_error(what) {}
+  explicit FfsError(const std::string& what,
+                    ErrorCode code = ErrorCode::kGeneric)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
+
+inline const char* Name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric:       return "generic";
+    case ErrorCode::kSliceOccupied: return "slice_occupied";
+    case ErrorCode::kSliceFailed:   return "slice_failed";
+    case ErrorCode::kSliceRetired:  return "slice_retired";
+    case ErrorCode::kNotOccupant:   return "not_occupant";
+  }
+  return "unknown";
+}
 
 namespace detail {
 [[noreturn]] inline void RaiseCheckFailure(const char* expr, const char* file,
@@ -24,6 +55,11 @@ namespace detail {
   throw FfsError(os.str());
 }
 }  // namespace detail
+
+/// Raise a typed FfsError with a formatted message.
+[[noreturn]] inline void RaiseError(ErrorCode code, const std::string& msg) {
+  throw FfsError(std::string(Name(code)) + ": " + msg, code);
+}
 
 }  // namespace fluidfaas
 

@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "core/partitioner.h"
 #include "core/pipeline.h"
+#include "gpu/cluster_view.h"
+#include "platform/placement.h"
 #include "sim/events.h"
 
 namespace fluidfaas::core {
@@ -93,26 +95,36 @@ int DistState::ChooseInvoker(platform::PlatformCore& core, FunctionId fn,
 platform::Instance* DistState::LaunchExclusiveOn(
     platform::PlatformCore& core, Invoker& inv,
     const platform::FunctionSpec& spec) {
-  std::optional<PipelinePlan> plan;
-  if (core.config().enable_pipelines) {
-    for (const PipelineCandidate& cand : spec.ranked_pipelines) {
-      plan = TryPlanOnNode(spec.dag, cand, core.cluster(), inv.node,
-                           core.config().transfer);
-      if (plan) break;
+  // Optimistic concurrency: plan on a snapshot, commit, and on a conflict
+  // abort (another invoker took the slice between snapshot and commit)
+  // re-plan from fresh state instead of pre-locking anything.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    gpu::ClusterView view(core.cluster());
+    std::optional<PipelinePlan> plan;
+    if (core.config().enable_pipelines) {
+      for (const PipelineCandidate& cand : spec.ranked_pipelines) {
+        plan = TryPlanOnNode(spec.dag, cand, view, inv.node,
+                             core.config().transfer);
+        if (plan) break;
+      }
+    } else {
+      for (SliceId sid : view.FreeSlicesOnNode(inv.node)) {
+        if (view.slice(sid).memory() < spec.total_memory) continue;
+        plan = MonolithicPlanOnSlice(spec.dag, view, sid);
+        if (plan) break;
+      }
     }
-  } else {
-    for (SliceId sid : core.cluster().FreeSlicesOnNode(inv.node)) {
-      if (core.cluster().slice(sid).memory() < spec.total_memory) continue;
-      plan = MonolithicPlanOnSlice(spec.dag, core.cluster(), sid);
-      if (plan) break;
-    }
+    if (!plan) return nullptr;
+    const bool pipelined = plan->num_stages() > 1;
+    const platform::CommitResult result = core.Commit(
+        platform::SpawnPlan(spec.id, std::move(*plan), core.IsWarm(spec.id)));
+    if (!result.ok()) continue;  // lost the race; take a fresh snapshot
+    if (pipelined) ++pipelines_launched;
+    Instance* inst = result.spawned.front();
+    state(inv, spec.id).eh.push_back(inst);
+    return inst;
   }
-  if (!plan) return nullptr;
-  if (plan->num_stages() > 1) ++pipelines_launched;
-  Instance* inst =
-      core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
-  state(inv, spec.id).eh.push_back(inst);
-  return inst;
+  return nullptr;
 }
 
 platform::Instance* DistState::EnsureTsResidentOn(platform::PlatformCore& core,
@@ -122,50 +134,63 @@ platform::Instance* DistState::EnsureTsResidentOn(platform::PlatformCore& core,
   FFS_CHECK(st.ts == nullptr);
   const platform::FunctionSpec& spec = core.function(fn);
 
-  // Smallest free slice on this node.
-  std::optional<SliceId> sid;
-  for (SliceId cand : core.cluster().FreeSlicesOnNode(inv.node)) {
-    const auto& s = core.cluster().slice(cand);
-    if (s.memory() < spec.total_memory) continue;
-    if (!sid || core.cluster().slice(*sid).gpcs() > s.gpcs()) sid = cand;
-  }
-  SimDuration evict_cost = 0;
-  if (!sid) {
-    // LRU idle resident TS instance on THIS invoker.
-    FunctionId victim;
-    SimTime oldest = kTimeInfinity;
-    for (std::size_t f = 0; f < inv.per_fn.size(); ++f) {
-      FnState& other = inv.per_fn[f];
-      if (other.ts == nullptr || !other.ts->Idle()) continue;
-      if (FunctionId(static_cast<std::int32_t>(f)) == fn) continue;
-      const auto& b = other.ts->plan().stages.front();
-      if (core.cluster().slice(b.slice).memory() < spec.total_memory) continue;
-      if (other.ts->last_used() < oldest) {
-        oldest = other.ts->last_used();
-        victim = FunctionId(static_cast<std::int32_t>(f));
-      }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    gpu::ClusterView view(core.cluster());
+    platform::PlacementPlan txn;
+
+    // Smallest free slice on this node.
+    std::optional<SliceId> sid;
+    for (SliceId cand : view.FreeSlicesOnNode(inv.node)) {
+      const auto& s = view.slice(cand);
+      if (s.memory() < spec.total_memory) continue;
+      if (!sid || view.slice(*sid).gpcs() > s.gpcs()) sid = cand;
     }
-    if (!victim.valid()) return nullptr;
-    FnState& vic = state(inv, victim);
-    const SliceId freed = vic.ts->plan().stages.front().slice;
-    const InstanceId victim_iid = vic.ts->id();
-    evict_cost = core.config().load.Evict(vic.ts->plan().TotalWeights());
-    core.RetireInstance(vic.ts);
-    vic.ts = nullptr;
-    ++evictions;
-    core.bus().Publish(sim::SchedulerTransition{sim::TransitionKind::kEviction,
-                                                victim, victim_iid,
-                                                core.simulator().Now()});
-    sid = freed;
+    SimDuration evict_cost = 0;
+    FunctionId victim;
+    InstanceId victim_iid;
+    if (!sid) {
+      // LRU idle resident TS instance on THIS invoker.
+      SimTime oldest = kTimeInfinity;
+      for (std::size_t f = 0; f < inv.per_fn.size(); ++f) {
+        FnState& other = inv.per_fn[f];
+        if (other.ts == nullptr || !other.ts->Idle()) continue;
+        if (FunctionId(static_cast<std::int32_t>(f)) == fn) continue;
+        const auto& b = other.ts->plan().stages.front();
+        if (view.slice(b.slice).memory() < spec.total_memory) continue;
+        if (other.ts->last_used() < oldest) {
+          oldest = other.ts->last_used();
+          victim = FunctionId(static_cast<std::int32_t>(f));
+        }
+      }
+      if (!victim.valid()) return nullptr;
+      FnState& vic = state(inv, victim);
+      const SliceId freed = vic.ts->plan().stages.front().slice;
+      victim_iid = vic.ts->id();
+      evict_cost = core.config().load.Evict(vic.ts->plan().TotalWeights());
+      platform::AddEvict(txn, view, victim_iid, vic.ts->plan());
+      sid = freed;
+    }
+    auto plan = MonolithicPlanOnSlice(spec.dag, view, *sid);
+    if (!plan) return nullptr;
+    platform::AddSpawn(txn, view, fn, std::move(*plan), core.IsWarm(fn),
+                       evict_cost);
+    const platform::CommitResult result = core.Commit(txn);
+    if (!result.ok()) continue;  // conflict: re-plan from live state
+
+    if (victim.valid()) {
+      state(inv, victim).ts = nullptr;
+      ++evictions;
+      core.bus().Publish(sim::SchedulerTransition{
+          sim::TransitionKind::kEviction, victim, victim_iid,
+          core.simulator().Now()});
+    }
+    Instance* inst = result.spawned.front();
+    st.ts = inst;
+    st.has_ts = true;
+    st.ts_last_used = core.simulator().Now();
+    return inst;
   }
-  auto plan = MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
-  if (!plan) return nullptr;
-  Instance* inst = core.LaunchInstance(spec, std::move(*plan),
-                                       core.IsWarm(fn), evict_cost);
-  st.ts = inst;
-  st.has_ts = true;
-  st.ts_last_used = core.simulator().Now();
-  return inst;
+  return nullptr;
 }
 
 bool DistState::RouteOn(platform::PlatformCore& core, Invoker& inv,

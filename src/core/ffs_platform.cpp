@@ -64,13 +64,18 @@ platform::Instance* FfsState::EnsureTsResident(platform::PlatformCore& core,
   FFS_CHECK(st.ts == nullptr);
   const platform::FunctionSpec& spec = core.function(fn);
 
-  auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
+  // Plan on a view, commit atomically: the eviction (when needed) and the
+  // spawn onto the freed slice are one placement transaction.
+  gpu::ClusterView view(core.cluster());
+  platform::PlacementPlan txn;
+  auto sid = view.SmallestFreeSliceWithMemory(spec.total_memory);
   SimDuration evict_cost = 0;
+  FunctionId victim_fn;
+  InstanceId victim_iid;
 
   if (!sid) {
     // Evict the least-recently-used idle resident time-sharing instance of
     // another function whose slice is large enough (§5.3).
-    FunctionId victim_fn;
     SimTime oldest = kTimeInfinity;
     for (std::size_t i = 0; i < fn_state.size(); ++i) {
       FnState& other = fn_state[i];
@@ -87,25 +92,30 @@ platform::Instance* FfsState::EnsureTsResident(platform::PlatformCore& core,
 
     FnState& vic = state(victim_fn);
     const SliceId freed = vic.ts->plan().stages.front().slice;
-    const InstanceId victim_iid = vic.ts->id();
+    victim_iid = vic.ts->id();
     evict_cost = core.config().load.Evict(vic.ts->plan().TotalWeights());
-    core.RetireInstance(vic.ts);  // idle by construction; frees the slice
-    vic.ts = nullptr;             // entry stays warm (TouchWarm in retire)
+    platform::AddEvict(txn, view, victim_iid, vic.ts->plan());
+    sid = freed;
+  }
+
+  auto plan = MonolithicPlanOnSlice(spec.dag, view, *sid);
+  if (!plan) return nullptr;  // cannot happen given the memory checks
+  platform::AddSpawn(txn, view, fn, std::move(*plan), core.IsWarm(fn),
+                     evict_cost);
+  const platform::CommitResult result = core.Commit(txn);
+  if (!result.ok()) return nullptr;
+
+  if (victim_fn.valid()) {
+    state(victim_fn).ts = nullptr;  // entry stays warm (TouchWarm in retire)
     ++evictions;
     core.bus().Publish(sim::SchedulerTransition{sim::TransitionKind::kEviction,
                                                 victim_fn, victim_iid,
                                                 core.simulator().Now()});
     FFS_LOG_DEBUG("ffs") << "evicted TS instance of fn " << victim_fn.value
-                         << " from slice " << freed.value << " for fn "
+                         << " from slice " << sid->value << " for fn "
                          << fn.value;
-    sid = freed;
   }
-
-  auto plan = MonolithicPlanOnSlice(core.function(fn).dag, core.cluster(),
-                                    *sid);
-  if (!plan) return nullptr;  // cannot happen given the memory checks
-  Instance* inst = core.LaunchInstance(spec, std::move(*plan),
-                                       core.IsWarm(fn), evict_cost);
+  Instance* inst = result.spawned.front();
   st.ts = inst;
   st.has_ts = true;
   st.ts_last_used = core.simulator().Now();
@@ -120,13 +130,15 @@ platform::Instance* FfsState::LaunchExclusive(
                              core.config().transfer);
   } else {
     // Ablation: monolithic-only placement.
-    auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
-    if (sid) plan = MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
+    plan = MonolithicPlanOnSmallestSlice(spec.dag, core.cluster());
   }
   if (!plan) return nullptr;
-  if (plan->num_stages() > 1) ++pipelines_launched;
-  Instance* inst =
-      core.LaunchInstance(spec, std::move(*plan), core.IsWarm(spec.id));
+  const bool pipelined = plan->num_stages() > 1;
+  const platform::CommitResult result = core.Commit(
+      platform::SpawnPlan(spec.id, std::move(*plan), core.IsWarm(spec.id)));
+  if (!result.ok()) return nullptr;
+  if (pipelined) ++pipelines_launched;
+  Instance* inst = result.spawned.front();
   state(spec.id).eh.push_back(inst);
   return inst;
 }
@@ -339,22 +351,25 @@ void FfsScaling::Tick(platform::PlatformCore& core) {
             inst->state() != InstanceState::kReady) {
           continue;
         }
-        auto sid =
-            core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
-        if (!sid) break;
-        auto plan = MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid);
+        auto plan = MonolithicPlanOnSmallestSlice(spec.dag, core.cluster());
         if (!plan) break;
-        Instance* mono =
-            core.LaunchInstance(spec, std::move(*plan), core.IsWarm(fn));
-        st.eh.push_back(mono);
+        const SliceId target = plan->stages.front().slice;
+        // One transaction: spawn the monolithic replacement, then drain the
+        // pipeline it supersedes (warm status fixed at plan time, before the
+        // drain's retire path can refresh it).
+        platform::PlacementPlan txn =
+            platform::SpawnPlan(fn, std::move(*plan), core.IsWarm(fn));
+        txn.actions.push_back(platform::DrainAction{inst->id()});
+        const platform::CommitResult result = core.Commit(txn);
+        if (!result.ok()) break;
+        st.eh.push_back(result.spawned.front());
         std::erase(st.eh, inst);
-        core.DrainOrRetire(inst);
         ++st_->migrations;
         core.bus().Publish(sim::SchedulerTransition{
             sim::TransitionKind::kMigration, fn, inst->id(), now});
         st.last_migration = now;
         FFS_LOG_DEBUG("ffs") << "migrated fn " << fn.value
-                             << " pipeline -> slice " << sid->value;
+                             << " pipeline -> slice " << target.value;
         break;  // at most one migration per function per tick
       }
     }

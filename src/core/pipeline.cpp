@@ -50,16 +50,16 @@ std::string PipelinePlan::ToString() const {
 
 std::optional<PipelinePlan> TryPlanOnNode(
     const model::AppDag& dag, const PipelineCandidate& candidate,
-    const gpu::Cluster& cluster, NodeId node,
+    const gpu::ClusterView& view, NodeId node,
     const model::TransferCostModel& transfer) {
-  const std::vector<SliceId> free = cluster.FreeSlicesOnNode(node);
+  const std::vector<SliceId> free = view.FreeSlicesOnNode(node);
   if (free.size() < candidate.stages.size()) return std::nullopt;
 
   // Per-stage feasible slice lists (memory fit).
   std::vector<std::vector<SliceId>> feasible(candidate.stages.size());
   for (std::size_t i = 0; i < candidate.stages.size(); ++i) {
     for (SliceId sid : free) {
-      if (cluster.slice(sid).memory() >= candidate.stages[i].memory) {
+      if (view.slice(sid).memory() >= candidate.stages[i].memory) {
         feasible[i].push_back(sid);
       }
     }
@@ -72,7 +72,7 @@ std::optional<PipelinePlan> TryPlanOnNode(
   std::vector<SliceId> current(candidate.stages.size());
   std::vector<SliceId> best;
   int best_gpcs = std::numeric_limits<int>::max();
-  std::vector<bool> used(cluster.num_slices(), false);
+  std::vector<bool> used(view.num_slices(), false);
 
   std::function<void(std::size_t, int)> search = [&](std::size_t stage,
                                                      int gpcs) {
@@ -92,7 +92,7 @@ std::optional<PipelinePlan> TryPlanOnNode(
       if (used[idx]) continue;
       used[idx] = true;
       current[stage] = sid;
-      search(stage + 1, gpcs + cluster.slice(sid).gpcs());
+      search(stage + 1, gpcs + view.slice(sid).gpcs());
       used[idx] = false;
     }
   };
@@ -106,7 +106,7 @@ std::optional<PipelinePlan> TryPlanOnNode(
     StageBinding b;
     b.plan = candidate.stages[i];
     b.slice = best[i];
-    b.profile = cluster.slice(best[i]).profile();
+    b.profile = view.slice(best[i]).profile();
     b.exec_time =
         StageLatencyOnGpcs(dag, b.plan.begin, b.plan.end, gpu::Gpcs(b.profile));
     if (i + 1 < candidate.stages.size()) {
@@ -118,9 +118,9 @@ std::optional<PipelinePlan> TryPlanOnNode(
 }
 
 std::optional<PipelinePlan> MonolithicPlanOnSlice(const model::AppDag& dag,
-                                                  const gpu::Cluster& cluster,
+                                                  const gpu::ClusterView& view,
                                                   SliceId slice) {
-  const gpu::MigSlice& s = cluster.slice(slice);
+  const gpu::MigSlice& s = view.slice(slice);
   if (s.memory() < dag.TotalMemory()) return std::nullopt;
   auto stage = MakeStagePlan(dag, 0, dag.size());
   if (!stage) return std::nullopt;
@@ -137,13 +137,20 @@ std::optional<PipelinePlan> MonolithicPlanOnSlice(const model::AppDag& dag,
   return plan;
 }
 
+std::optional<PipelinePlan> MonolithicPlanOnSmallestSlice(
+    const model::AppDag& dag, const gpu::ClusterView& view) {
+  const auto sid = view.SmallestFreeSliceWithMemory(dag.TotalMemory());
+  if (!sid) return std::nullopt;
+  return MonolithicPlanOnSlice(dag, view, *sid);
+}
+
 std::optional<PipelinePlan> PlanFirstFeasible(
     const model::AppDag& dag,
     const std::vector<PipelineCandidate>& candidates,
-    const gpu::Cluster& cluster, const model::TransferCostModel& transfer) {
+    const gpu::ClusterView& view, const model::TransferCostModel& transfer) {
   for (const PipelineCandidate& cand : candidates) {
-    for (int n = 0; n < cluster.num_nodes(); ++n) {
-      auto plan = TryPlanOnNode(dag, cand, cluster, NodeId(n), transfer);
+    for (int n = 0; n < view.num_nodes(); ++n) {
+      auto plan = TryPlanOnNode(dag, cand, view, NodeId(n), transfer);
       if (plan) return plan;
     }
   }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "core/partitioner.h"
-#include "gpu/cluster.h"
+#include "gpu/cluster_view.h"
 #include "model/app.h"
 #include "model/costs.h"
 
@@ -52,21 +52,28 @@ struct PipelinePlan {
   std::string ToString() const;
 };
 
-/// Try to bind `candidate`'s stages to free slices on node `node` of
-/// `cluster`. Uses exhaustive backtracking over per-stage feasible slices
-/// (stage counts are tiny); among feasible bindings prefers the one using
-/// the fewest total GPCs, then lowest slice ids — i.e. leave big slices
-/// free for functions that need them. Does NOT bind the slices; the caller
-/// binds on launch.
+/// Try to bind `candidate`'s stages to free slices on node `node` as seen
+/// through `view` (a bare Cluster converts to an overlay-free view). Uses
+/// exhaustive backtracking over per-stage feasible slices (stage counts are
+/// tiny); among feasible bindings prefers the one using the fewest total
+/// GPCs, then lowest slice ids — i.e. leave big slices free for functions
+/// that need them. Does NOT bind or reserve the slices; callers stage the
+/// plan into a platform::PlacementPlan and commit.
 std::optional<PipelinePlan> TryPlanOnNode(
     const model::AppDag& dag, const PipelineCandidate& candidate,
-    const gpu::Cluster& cluster, NodeId node,
+    const gpu::ClusterView& view, NodeId node,
     const model::TransferCostModel& transfer);
 
 /// Single-stage plan hosting the whole DAG on one specific slice; nullopt
 /// when the slice's memory cannot hold the function.
 std::optional<PipelinePlan> MonolithicPlanOnSlice(
-    const model::AppDag& dag, const gpu::Cluster& cluster, SliceId slice);
+    const model::AppDag& dag, const gpu::ClusterView& view, SliceId slice);
+
+/// Single-stage plan on the smallest free slice (through the view) that
+/// fits the whole DAG — the shared "spawn from the smallest slice" step of
+/// the FluidFaaS time-sharing path, INFless, and the repartition baseline.
+std::optional<PipelinePlan> MonolithicPlanOnSmallestSlice(
+    const model::AppDag& dag, const gpu::ClusterView& view);
 
 /// Walk `candidates` in ranked order across all nodes (lowest node id
 /// first) and return the first deployable plan — the paper's launch
@@ -74,6 +81,6 @@ std::optional<PipelinePlan> MonolithicPlanOnSlice(
 std::optional<PipelinePlan> PlanFirstFeasible(
     const model::AppDag& dag,
     const std::vector<PipelineCandidate>& candidates,
-    const gpu::Cluster& cluster, const model::TransferCostModel& transfer);
+    const gpu::ClusterView& view, const model::TransferCostModel& transfer);
 
 }  // namespace fluidfaas::core

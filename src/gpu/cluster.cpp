@@ -58,14 +58,27 @@ Cluster Cluster::Uniform(int num_nodes, int gpus_per_node,
 
 void Cluster::RebuildSliceIndex() {
   slices_.clear();
+  for (auto& set : free_by_profile_) set.clear();
+  free_all_.clear();
   for (std::size_t g = 0; g < gpus_.size(); ++g) {
     for (std::size_t l = 0; l < gpus_[g].slices().size(); ++l) {
       const MigSlice& s = gpus_[g].slices()[l];
       FFS_CHECK_MSG(static_cast<std::size_t>(s.id.value) == slices_.size(),
                     "slice ids must be dense and in order");
       slices_.push_back(SliceRef{static_cast<int>(g), static_cast<int>(l)});
+      if (s.allocatable()) AddFree(s);
     }
   }
+}
+
+void Cluster::AddFree(const MigSlice& s) {
+  free_by_profile_[static_cast<std::size_t>(s.profile())].insert(s.id.value);
+  free_all_.insert(s.id.value);
+}
+
+void Cluster::RemoveFree(const MigSlice& s) {
+  free_by_profile_[static_cast<std::size_t>(s.profile())].erase(s.id.value);
+  free_all_.erase(s.id.value);
 }
 
 const Gpu& Cluster::gpu(GpuId id) const {
@@ -78,13 +91,15 @@ const MigSlice& Cluster::slice(SliceId id) const {
   FFS_CHECK(id.valid() &&
             static_cast<std::size_t>(id.value) < slices_.size());
   const SliceRef& r = slices_[static_cast<std::size_t>(id.value)];
-  FFS_CHECK_MSG(r.gpu >= 0, "slice " + ToString(id) +
-                                " was retired by a repartition");
+  if (r.gpu < 0) {
+    RaiseError(ErrorCode::kSliceRetired,
+               "slice " + ToString(id) + " was retired by a repartition");
+  }
   return gpus_[static_cast<std::size_t>(r.gpu)]
-      .slices()[static_cast<std::size_t>(r.local)];
+      .slices_[static_cast<std::size_t>(r.local)];
 }
 
-MigSlice& Cluster::slice(SliceId id) {
+MigSlice& Cluster::mutable_slice(SliceId id) {
   return const_cast<MigSlice&>(
       static_cast<const Cluster*>(this)->slice(id));
 }
@@ -113,8 +128,10 @@ std::vector<SliceId> Cluster::RepartitionGpu(GpuId gpu_id,
   FFS_CHECK_MSG(g.AllSlicesFree(),
                 "cannot repartition GPU " + ToString(gpu_id) +
                     " while slices are bound");
-  // Retire the old ids.
+  // Retire the old ids (failed slices were never in the free indexes;
+  // RemoveFree is a harmless no-op for them).
   for (const MigSlice& s : g.slices()) {
+    RemoveFree(s);
     slices_[static_cast<std::size_t>(s.id.value)] = SliceRef{-1, -1};
   }
   // Renumber the GPU's slices at the end of the id space.
@@ -123,6 +140,7 @@ std::vector<SliceId> Cluster::RepartitionGpu(GpuId gpu_id,
   std::vector<SliceId> fresh;
   for (std::size_t l = 0; l < g.slices().size(); ++l) {
     slices_.push_back(SliceRef{gpu_id.value, static_cast<int>(l)});
+    AddFree(g.slices()[l]);
     fresh.push_back(g.slices()[l].id);
   }
   return fresh;
@@ -130,68 +148,84 @@ std::vector<SliceId> Cluster::RepartitionGpu(GpuId gpu_id,
 
 std::vector<SliceId> Cluster::FreeSlices() const {
   std::vector<SliceId> out;
-  for (SliceId id : AllSlices()) {
-    if (slice(id).allocatable()) out.push_back(id);
-  }
+  out.reserve(free_all_.size());
+  for (std::int32_t id : free_all_) out.push_back(SliceId(id));
   return out;
 }
 
 std::vector<SliceId> Cluster::FreeSlices(MigProfile profile) const {
+  const auto& set = free_by_profile_[static_cast<std::size_t>(profile)];
   std::vector<SliceId> out;
-  for (SliceId id : AllSlices()) {
-    const MigSlice& s = slice(id);
-    if (s.allocatable() && s.profile() == profile) out.push_back(id);
-  }
+  out.reserve(set.size());
+  for (std::int32_t id : set) out.push_back(SliceId(id));
   return out;
 }
 
 std::vector<SliceId> Cluster::FreeSlicesOnNode(NodeId node) const {
   std::vector<SliceId> out;
-  for (SliceId id : AllSlices()) {
-    const MigSlice& s = slice(id);
-    if (s.allocatable() && s.node == node) out.push_back(id);
+  for (std::int32_t id : free_all_) {
+    const SliceId sid(id);
+    if (slice(sid).node == node) out.push_back(sid);
   }
   return out;
 }
 
 std::optional<SliceId> Cluster::SmallestFreeSliceWithMemory(
     Bytes min_memory) const {
+  // Each profile's free set is id-ordered, so its begin() is that profile's
+  // deterministic candidate; picking the fewest-GPC (then lowest-id)
+  // candidate reproduces the historical full scan exactly.
   std::optional<SliceId> best;
-  for (SliceId id : AllSlices()) {
-    const MigSlice& s = slice(id);
-    if (!s.allocatable() || s.memory() < min_memory) continue;
-    if (!best || slice(*best).gpcs() > s.gpcs()) best = id;
+  int best_gpcs = 0;
+  for (MigProfile p : kAllProfiles) {
+    if (MemBytes(p) < min_memory) continue;
+    const auto& set = free_by_profile_[static_cast<std::size_t>(p)];
+    if (set.empty()) continue;
+    const SliceId candidate(*set.begin());
+    const int gpcs = Gpcs(p);
+    if (!best || gpcs < best_gpcs ||
+        (gpcs == best_gpcs && candidate.value < best->value)) {
+      best = candidate;
+      best_gpcs = gpcs;
+    }
   }
   return best;
 }
 
 void Cluster::Bind(SliceId sid, InstanceId instance) {
-  MigSlice& s = slice(sid);
-  FFS_CHECK_MSG(s.free(), "strong-isolation violation: slice " +
-                              ToString(sid) + " already bound to instance " +
-                              ToString(s.occupant));
-  FFS_CHECK_MSG(!s.failed,
-                "binding failed slice " + ToString(sid) + " before repair");
+  MigSlice& s = mutable_slice(sid);
+  if (!s.free()) {
+    RaiseError(ErrorCode::kSliceOccupied,
+               "strong-isolation violation: slice " + ToString(sid) +
+                   " already bound to instance " + ToString(s.occupant));
+  }
+  if (s.failed) {
+    RaiseError(ErrorCode::kSliceFailed,
+               "binding failed slice " + ToString(sid) + " before repair");
+  }
   FFS_CHECK(instance.valid());
   s.occupant = instance;
+  RemoveFree(s);
 }
 
 void Cluster::MarkFailed(SliceId sid) {
-  MigSlice& s = slice(sid);
+  MigSlice& s = mutable_slice(sid);
   FFS_CHECK_MSG(s.free(),
                 "MarkFailed on slice " + ToString(sid) +
                     " while still bound; crash the occupant first");
   FFS_CHECK_MSG(!s.failed, "slice " + ToString(sid) + " already failed");
   s.failed = true;
+  RemoveFree(s);
 }
 
 void Cluster::Repair(SliceId sid) {
   FFS_CHECK(sid.valid() &&
             static_cast<std::size_t>(sid.value) < slices_.size());
   if (IsDead(sid)) return;  // a repartition already replaced this slice
-  MigSlice& s = slice(sid);
+  MigSlice& s = mutable_slice(sid);
   FFS_CHECK_MSG(s.failed, "Repair on healthy slice " + ToString(sid));
   s.failed = false;
+  if (s.free()) AddFree(s);
 }
 
 bool Cluster::IsFailed(SliceId sid) const {
@@ -209,10 +243,15 @@ std::vector<SliceId> Cluster::FailedSlices() const {
 }
 
 void Cluster::Release(SliceId sid, InstanceId instance) {
-  MigSlice& s = slice(sid);
-  FFS_CHECK_MSG(s.occupant == instance,
-                "release by non-occupant on slice " + ToString(sid));
+  MigSlice& s = mutable_slice(sid);
+  if (s.occupant != instance) {
+    RaiseError(ErrorCode::kNotOccupant,
+               "release by non-occupant " + ToString(instance) +
+                   " on slice " + ToString(sid) + " held by " +
+                   ToString(s.occupant));
+  }
   s.occupant = InstanceId();
+  if (!s.failed) AddFree(s);
 }
 
 int Cluster::TotalGpcs() const {

@@ -10,7 +10,9 @@
 // the rigidity FluidFaaS works around.
 #pragma once
 
+#include <array>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,16 +49,20 @@ class Gpu {
   NodeId node() const { return node_; }
   const MigPartition& partition() const { return partition_; }
   const std::vector<MigSlice>& slices() const { return slices_; }
-  std::vector<MigSlice>& slices() { return slices_; }
 
   bool AllSlicesFree() const;
+
+ private:
+  // Occupancy and failure state may only change through Cluster's
+  // Bind/Release/MarkFailed/Repair/RepartitionGpu, which keep the
+  // strong-isolation invariant and the free-slice indexes coherent.
+  friend class Cluster;
 
   /// Replace the partition (slice ids are renumbered starting at
   /// `first_slice_id`). Requires all slices free. The caller accounts for
   /// the reconfiguration delay via ReconfigCost().
   void Repartition(const MigPartition& partition, SliceId first_slice_id);
 
- private:
   GpuId id_;
   NodeId node_;
   MigPartition partition_;
@@ -96,22 +102,29 @@ class Cluster {
   const std::vector<Gpu>& gpus() const { return gpus_; }
 
   const MigSlice& slice(SliceId id) const;
-  MigSlice& slice(SliceId id);
 
   /// All slices, cluster-wide, in id order.
   std::vector<SliceId> AllSlices() const;
 
   /// Allocatable (free and healthy) slices, optionally restricted to one
-  /// profile / one node. Failed slices never appear here.
+  /// profile / one node. Failed slices never appear here. Served from
+  /// free-slice indexes maintained on Bind/Release/MarkFailed/Repair, so
+  /// queries cost O(answer), not O(cluster).
   std::vector<SliceId> FreeSlices() const;
   std::vector<SliceId> FreeSlices(MigProfile profile) const;
   std::vector<SliceId> FreeSlicesOnNode(NodeId node) const;
 
   /// Smallest allocatable slice with at least `min_memory`; prefers fewer
   /// GPCs, then lower slice id (deterministic). nullopt when none qualifies.
+  /// O(#profiles) via the per-profile free lists.
   std::optional<SliceId> SmallestFreeSliceWithMemory(Bytes min_memory) const;
 
-  /// Bind / release enforce the strong-isolation invariant.
+  /// Bind / release enforce the strong-isolation invariant. Violations raise
+  /// FfsError with a typed code: Bind on an occupied slice ->
+  /// ErrorCode::kSliceOccupied, Bind on a faulted slice ->
+  /// ErrorCode::kSliceFailed, Release by a non-occupant ->
+  /// ErrorCode::kNotOccupant, any access to a repartitioned-away id ->
+  /// ErrorCode::kSliceRetired.
   void Bind(SliceId sid, InstanceId instance);
   void Release(SliceId sid, InstanceId instance);
 
@@ -151,6 +164,10 @@ class Cluster {
   std::string Describe() const;
 
  private:
+  // ClusterView reads the free-slice indexes directly for its overlay-aware
+  // queries; it never mutates.
+  friend class ClusterView;
+
   // Slice index entries are (gpu index, index into that GPU's slice vector)
   // rather than raw pointers so Cluster stays freely movable/copyable.
   // gpu == -1 marks a slice id retired by RepartitionGpu.
@@ -159,9 +176,26 @@ class Cluster {
     int local;
   };
 
+  // Mutable access is an implementation detail: all occupancy / failure
+  // transitions go through the public Bind/Release/MarkFailed/Repair API so
+  // the free-slice indexes below cannot drift from the slice state. (Named
+  // distinctly from the const accessor so non-const callers still resolve
+  // to the public read-only overload.)
+  MigSlice& mutable_slice(SliceId id);
+
+  void AddFree(const MigSlice& s);
+  void RemoveFree(const MigSlice& s);
+
   std::vector<Gpu> gpus_;            // indexed by GpuId
   std::vector<SliceRef> slices_;     // indexed by SliceId
   std::vector<int> gpus_per_node_;   // node -> #GPUs
+
+  // Allocatable slice ids, id-ordered: one set per profile plus the union.
+  // Id order matters — planners iterate these and the deterministic
+  // tie-breaks (lowest id first) are part of pinned bench output.
+  std::array<std::set<std::int32_t>, kAllProfiles.size()> free_by_profile_;
+  std::set<std::int32_t> free_all_;
+
   void RebuildSliceIndex();
 };
 

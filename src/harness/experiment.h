@@ -7,6 +7,7 @@
 // three platforms in one comparison see byte-identical arrivals.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -102,6 +103,15 @@ struct ExperimentResult {
   std::size_t recovered = 0;  // completions that survived >=1 failure
   std::size_t instances_failed = 0;
   std::size_t slices_failed = 0;
+
+  // Placement transactions (DESIGN.md §8). Aborts stay zero in fault-free
+  // runs: every scheduler commits in the same synchronous decision that
+  // planned, so live state cannot drift from the ClusterView.
+  std::size_t plans_committed = 0;
+  std::size_t plans_aborted = 0;
+  std::size_t spawns_committed = 0;
+  std::array<std::size_t, sim::kNumPlanAbortCauses> plan_aborts_by_cause{};
+  double plan_conflict_rate = 0.0;  // aborted / all commit attempts
 
   // Scheduler-behaviour counters (FluidFaaS only; zero otherwise).
   std::size_t evictions = 0;

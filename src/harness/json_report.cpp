@@ -48,6 +48,20 @@ void WriteResult(JsonWriter& w, const ExperimentResult& r) {
   w.Key("instances_failed").Value(r.instances_failed);
   w.Key("slices_failed").Value(r.slices_failed);
   w.EndObject();
+  w.Key("placement").BeginObject();
+  w.Key("plans_committed").Value(r.plans_committed);
+  w.Key("plans_aborted").Value(r.plans_aborted);
+  w.Key("spawns_committed").Value(r.spawns_committed);
+  w.Key("conflict_rate").Value(r.plan_conflict_rate);
+  w.Key("aborts_by_cause").BeginObject();
+  // kNone never aborts a plan; start at the first real cause.
+  for (int c = 1; c < sim::kNumPlanAbortCauses; ++c) {
+    const auto cause = static_cast<sim::PlanAbortCause>(c);
+    w.Key(sim::Name(cause)).Value(
+        r.plan_aborts_by_cause[static_cast<std::size_t>(c)]);
+  }
+  w.EndObject();
+  w.EndObject();
   w.Key("scheduler").BeginObject();
   w.Key("pipelines_launched").Value(r.pipelines_launched);
   w.Key("evictions").Value(r.evictions);

@@ -156,6 +156,14 @@ ExperimentResult RunContext::Run() {
   res.recovered = recorder_->RecoveredRequests();
   res.instances_failed = recorder_->instances_failed();
   res.slices_failed = recorder_->slices_failed();
+  res.plans_committed = recorder_->plans_committed();
+  res.plans_aborted = recorder_->plans_aborted();
+  res.spawns_committed = recorder_->spawns_committed();
+  for (int c = 0; c < sim::kNumPlanAbortCauses; ++c) {
+    res.plan_aborts_by_cause[static_cast<std::size_t>(c)] =
+        recorder_->plans_aborted_by(static_cast<sim::PlanAbortCause>(c));
+  }
+  res.plan_conflict_rate = recorder_->PlanConflictRate();
   res.mig_time = recorder_->MigTime();
   res.gpu_time = recorder_->GpuTime();
   const platform::SchedulerCounters sc = platform_->scheduler_counters();

@@ -85,6 +85,15 @@ void Recorder::SubscribeTo(sim::EventBus& bus) {
           ++aborted_;
         }
       });
+  bus.Subscribe<sim::PlacementCommitted>(
+      [this](const sim::PlacementCommitted& e) {
+        ++plans_committed_;
+        spawns_committed_ += static_cast<std::size_t>(e.spawns);
+      });
+  bus.Subscribe<sim::PlacementAborted>([this](const sim::PlacementAborted& e) {
+    ++plans_aborted_;
+    ++aborts_by_cause_[static_cast<std::size_t>(e.cause)];
+  });
   bus.Subscribe<sim::InstanceFailed>(
       [this](const sim::InstanceFailed&) { ++instances_failed_; });
   bus.Subscribe<sim::SliceFailed>(
@@ -276,6 +285,13 @@ std::size_t Recorder::RecoveredRequests() const {
     if (r.done() && r.retries > 0) ++n;
   }
   return n;
+}
+
+double Recorder::PlanConflictRate() const {
+  const std::size_t attempts = plans_committed_ + plans_aborted_;
+  return attempts ? static_cast<double>(plans_aborted_) /
+                        static_cast<double>(attempts)
+                  : 0.0;
 }
 
 double Recorder::WindowedGoodput(SimTime window) const {

@@ -15,6 +15,7 @@
 //             (Σ time each GPU has ≥1 busy slice).
 #pragma once
 
+#include <array>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "gpu/cluster.h"
+#include "sim/events.h"
 
 namespace fluidfaas::sim {
 class EventBus;
@@ -91,6 +93,17 @@ class Recorder {
   std::size_t RecoveredRequests() const;
   /// Goodput (SLO-hit, non-timed-out completions) per second of [0, window].
   double WindowedGoodput(SimTime window) const;
+
+  // --- placement transactions (DESIGN.md §8) -------------------------------
+  std::size_t plans_committed() const { return plans_committed_; }
+  std::size_t plans_aborted() const { return plans_aborted_; }
+  std::size_t plans_aborted_by(sim::PlanAbortCause cause) const {
+    return aborts_by_cause_[static_cast<std::size_t>(cause)];
+  }
+  std::size_t spawns_committed() const { return spawns_committed_; }
+  /// Aborted fraction of all commit attempts — the reservation-conflict
+  /// rate schedulers pay for optimistic planning. 0 with no attempts.
+  double PlanConflictRate() const;
 
   // --- slice occupancy ---------------------------------------------------
   void SliceBound(SliceId s, SimTime now);
@@ -205,6 +218,11 @@ class Recorder {
   std::size_t instances_failed_ = 0;
   std::size_t slices_failed_ = 0;
   std::size_t slices_repaired_ = 0;
+
+  std::size_t plans_committed_ = 0;
+  std::size_t plans_aborted_ = 0;
+  std::size_t spawns_committed_ = 0;
+  std::array<std::size_t, sim::kNumPlanAbortCauses> aborts_by_cause_{};
 
   const gpu::Cluster* cluster_ = nullptr;
   sim::EventBus* bus_ = nullptr;

@@ -18,6 +18,7 @@ constexpr int kPidRequests = 1;
 constexpr int kPidInstances = 2;
 constexpr int kPidSlices = 3;
 constexpr int kPidGpus = 4;
+constexpr int kPidPlanner = 5;
 
 std::string EscapeJson(const std::string& s) {
   std::string out;
@@ -138,6 +139,20 @@ void TraceExporter::SubscribeTo(sim::EventBus& bus) {
                         e.blackout, kPidGpus, e.gpu.value, ""});
       });
 
+  // Placement transactions (DESIGN.md §8): one instant marker per commit
+  // attempt on the planner track, committed and aborted on separate rows.
+  bus.Subscribe<sim::PlacementCommitted>(
+      [this](const sim::PlacementCommitted& e) {
+        Emit(TraceEvent{"commit", "plan", 'i', e.at, 0, kPidPlanner, 0,
+                        "{\"actions\":" + std::to_string(e.actions) +
+                            ",\"spawns\":" + std::to_string(e.spawns) + "}"});
+      });
+  bus.Subscribe<sim::PlacementAborted>([this](const sim::PlacementAborted& e) {
+    Emit(TraceEvent{std::string("abort: ") + Name(e.cause), "plan", 'i',
+                    e.at, 0, kPidPlanner, 1,
+                    "{\"actions\":" + std::to_string(e.actions) + "}"});
+  });
+
   // Fault & recovery markers.
   bus.Subscribe<sim::InstanceFailed>([this](const sim::InstanceFailed& e) {
     Emit(TraceEvent{std::string("failed: ") + Name(e.cause), "fault", 'i',
@@ -203,7 +218,8 @@ void TraceExporter::WriteJson(std::ostream& os) const {
   const std::pair<int, const char*> procs[] = {{kPidRequests, "requests"},
                                                {kPidInstances, "instances"},
                                                {kPidSlices, "slices"},
-                                               {kPidGpus, "gpus"}};
+                                               {kPidGpus, "gpus"},
+                                               {kPidPlanner, "planner"}};
   for (const auto& [pid, label] : procs) {
     if (!first) os << ",\n";
     first = false;

@@ -1,0 +1,101 @@
+// Placement transactions: the explicit, atomically-committed output of every
+// scheduler's placement decision (DESIGN.md §8).
+//
+// A planner builds a PlacementPlan against a gpu::ClusterView — reserving
+// slices in the view as it goes, so a multi-slice pipeline search never
+// double-books — and hands the plan to PlatformCore::Commit(). Commit
+// re-validates every action against *live* state (slices may have failed,
+// been repartitioned away, or been taken by a concurrent decentralized
+// scheduler since the view was taken) and either applies the whole plan or
+// aborts it with a typed sim::PlanAbortCause: nothing half-binds.
+//
+// Action order inside a plan is meaningful and preserved: an eviction frees
+// its victim's slices for the spawns that follow it (the FluidFaaS
+// time-sharing path), while a migration spawns the replacement before
+// draining the pipeline it supersedes.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "gpu/cluster_view.h"
+#include "gpu/mig_partition.h"
+#include "sim/events.h"
+
+namespace fluidfaas::platform {
+
+class Instance;
+
+/// Bind a planned pipeline's slices and launch an instance for `fn`.
+/// `warm` / `extra_load_delay` are fixed at plan time so the load-path
+/// arithmetic is independent of what earlier actions in the plan do.
+struct SpawnAction {
+  FunctionId fn;
+  core::PipelinePlan pipeline;
+  bool warm = false;
+  SimDuration extra_load_delay = 0;
+};
+
+/// Retire an idle instance now; its slices become available to subsequent
+/// spawns in the same plan.
+struct EvictAction {
+  InstanceId victim;
+};
+
+/// Drain an instance (retire immediately when idle). Unlike EvictAction its
+/// slices are NOT offered to later actions — the drain may take simulated
+/// time to finish.
+struct DrainAction {
+  InstanceId victim;
+};
+
+/// Repartition a GPU to `target`. When `sentinel` is valid, the fresh
+/// slices are immediately sentinel-bound for the reconfiguration blackout
+/// (the Repartition baseline); release them via
+/// PlatformCore::FinishRepartition once the blackout elapses.
+struct RepartitionAction {
+  GpuId gpu;
+  gpu::MigPartition target;
+  SimDuration blackout = 0;
+  InstanceId sentinel;
+};
+
+using PlacementAction =
+    std::variant<SpawnAction, EvictAction, DrainAction, RepartitionAction>;
+
+struct PlacementPlan {
+  std::vector<PlacementAction> actions;
+
+  bool empty() const { return actions.empty(); }
+  int NumActions() const { return static_cast<int>(actions.size()); }
+  int NumSpawns() const;
+};
+
+/// Outcome of PlatformCore::Commit. On success `spawned` holds the launched
+/// instances in action order and `fresh_slices` the ids minted by a
+/// RepartitionAction; on abort nothing was applied and `cause` says why.
+struct CommitResult {
+  sim::PlanAbortCause cause = sim::PlanAbortCause::kNone;
+  std::vector<Instance*> spawned;
+  std::vector<SliceId> fresh_slices;
+
+  bool ok() const { return cause == sim::PlanAbortCause::kNone; }
+};
+
+/// Append a spawn and reserve its stage slices in `view`, keeping the plan
+/// and the planner's view of free capacity in lockstep.
+void AddSpawn(PlacementPlan& plan, gpu::ClusterView& view, FunctionId fn,
+              core::PipelinePlan pipeline, bool warm,
+              SimDuration extra_load_delay = 0);
+
+/// Append an eviction and mark the victim's slices planned-free in `view`
+/// so the spawns planned after it can target them.
+void AddEvict(PlacementPlan& plan, gpu::ClusterView& view, InstanceId victim,
+              const core::PipelinePlan& victim_plan);
+
+/// One-action convenience for the ubiquitous single-spawn decision.
+PlacementPlan SpawnPlan(FunctionId fn, core::PipelinePlan pipeline, bool warm,
+                        SimDuration extra_load_delay = 0);
+
+}  // namespace fluidfaas::platform

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+#include <variant>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -186,6 +188,106 @@ std::vector<Instance*> PlatformCore::AllInstances() const {
 }
 
 std::size_t PlatformCore::PendingCount() const { return pending_.size(); }
+
+sim::PlanAbortCause PlatformCore::ValidatePlan(const PlacementPlan& plan) {
+  // Walk the actions in order, simulating slice availability: an eviction
+  // frees its victim's slices for later spawns, a spawn claims its stage
+  // slices against later actions. The first impossibility aborts the plan.
+  std::set<std::int32_t> freed;  // released by an earlier EvictAction
+  std::set<std::int32_t> taken;  // claimed by an earlier SpawnAction
+  for (const PlacementAction& action : plan.actions) {
+    if (const auto* spawn = std::get_if<SpawnAction>(&action)) {
+      for (const core::StageBinding& s : spawn->pipeline.stages) {
+        const SliceId sid = s.slice;
+        if (!sid.valid() ||
+            static_cast<std::size_t>(sid.value) >= cluster_.num_slices() ||
+            cluster_.IsDead(sid)) {
+          return sim::PlanAbortCause::kSliceRetired;
+        }
+        if (taken.count(sid.value) != 0) {
+          return sim::PlanAbortCause::kSliceConflict;
+        }
+        const gpu::MigSlice& live = cluster_.slice(sid);
+        if (live.failed) return sim::PlanAbortCause::kSliceFailed;
+        if (!live.free() && freed.count(sid.value) == 0) {
+          return sim::PlanAbortCause::kSliceConflict;
+        }
+        taken.insert(sid.value);
+      }
+    } else if (const auto* evict = std::get_if<EvictAction>(&action)) {
+      Instance* victim = FindInstance(evict->victim);
+      if (victim == nullptr) return sim::PlanAbortCause::kVictimGone;
+      if (!victim->Idle()) return sim::PlanAbortCause::kVictimBusy;
+      for (const core::StageBinding& s : victim->plan().stages) {
+        freed.insert(s.slice.value);
+      }
+    } else if (const auto* drain = std::get_if<DrainAction>(&action)) {
+      if (FindInstance(drain->victim) == nullptr) {
+        return sim::PlanAbortCause::kVictimGone;
+      }
+    } else {
+      const auto& rp = std::get<RepartitionAction>(action);
+      for (const gpu::MigSlice& s : cluster_.gpu(rp.gpu).slices()) {
+        if ((!s.free() && freed.count(s.id.value) == 0) ||
+            taken.count(s.id.value) != 0) {
+          return sim::PlanAbortCause::kGpuNotIdle;
+        }
+      }
+    }
+  }
+  return sim::PlanAbortCause::kNone;
+}
+
+CommitResult PlatformCore::Commit(const PlacementPlan& plan) {
+  CommitResult result;
+  const SimTime now = sim_.Now();
+  result.cause = ValidatePlan(plan);
+  if (!result.ok()) {
+    FFS_LOG_DEBUG("platform")
+        << name() << " plan aborted (" << sim::Name(result.cause) << ", "
+        << plan.NumActions() << " action(s))";
+    bus().Publish(sim::PlacementAborted{result.cause, plan.NumActions(), now});
+    return result;
+  }
+  for (const PlacementAction& action : plan.actions) {
+    if (const auto* spawn = std::get_if<SpawnAction>(&action)) {
+      result.spawned.push_back(LaunchInstance(function(spawn->fn),
+                                              spawn->pipeline, spawn->warm,
+                                              spawn->extra_load_delay));
+    } else if (const auto* evict = std::get_if<EvictAction>(&action)) {
+      RetireInstance(FindInstance(evict->victim));
+    } else if (const auto* drain = std::get_if<DrainAction>(&action)) {
+      DrainOrRetire(FindInstance(drain->victim));
+    } else {
+      const auto& rp = std::get<RepartitionAction>(action);
+      result.fresh_slices = cluster_.RepartitionGpu(rp.gpu, rp.target);
+      // PartitionReconfigured first: per-slice observers re-sync their id
+      // space on it before the sentinel SliceBound announcements arrive.
+      bus().Publish(sim::PartitionReconfigured{rp.gpu, now,
+                                               rp.target.ToString(),
+                                               rp.blackout});
+      if (rp.sentinel.valid()) {
+        for (SliceId sid : result.fresh_slices) {
+          cluster_.Bind(sid, rp.sentinel);
+          bus().Publish(sim::SliceBound{sid, rp.sentinel, now});
+        }
+      }
+    }
+  }
+  bus().Publish(
+      sim::PlacementCommitted{plan.NumActions(), plan.NumSpawns(), now});
+  return result;
+}
+
+void PlatformCore::FinishRepartition(const std::vector<SliceId>& fresh,
+                                     InstanceId sentinel) {
+  const SimTime now = sim_.Now();
+  for (SliceId sid : fresh) {
+    if (cluster_.IsDead(sid)) continue;  // re-repartitioned meanwhile
+    cluster_.Release(sid, sentinel);
+    bus().Publish(sim::SliceReleased{sid, sentinel, now});
+  }
+}
 
 Instance* PlatformCore::LaunchInstance(const FunctionSpec& fn,
                                        core::PipelinePlan plan, bool warm,
@@ -464,7 +566,7 @@ void PlatformCore::TryRespawn(const FunctionSpec& spec,
     }
     if (!bound) return;  // node lacks a same-profile slice; policies rebuild
   }
-  LaunchInstance(spec, std::move(plan), IsWarm(spec.id));
+  Commit(SpawnPlan(spec.id, std::move(plan), IsWarm(spec.id)));
 }
 
 void PlatformCore::ExpireRequest(RequestId rid) {

@@ -27,6 +27,7 @@
 #include "platform/config.h"
 #include "platform/function.h"
 #include "platform/instance.h"
+#include "platform/placement.h"
 #include "platform/policy.h"
 #include "sim/events.h"
 #include "sim/simulator.h"
@@ -78,12 +79,20 @@ class PlatformCore {
 
   // -- mechanism operations, called by policies -----------------------------
 
-  /// Bind the plan's slices, create the instance, and start loading.
-  /// `warm` selects the warm- vs cold-load path for the weight bytes;
-  /// `extra_load_delay` serializes in front of the load (e.g. the D2H
-  /// checkpoint of an instance just evicted from the target slice).
-  Instance* LaunchInstance(const FunctionSpec& fn, core::PipelinePlan plan,
-                           bool warm, SimDuration extra_load_delay = 0);
+  /// Validate `plan` against live cluster/instance state and apply it
+  /// atomically (DESIGN.md §8). Slices are only ever bound here: every
+  /// scheduler's placement decision — single spawn, evict-then-spawn,
+  /// spawn-then-drain migration, multi-spawn scale-up, repartition — goes
+  /// through one Commit. On any conflict the whole plan aborts with a typed
+  /// cause and no state changes; publishes sim::PlacementCommitted /
+  /// sim::PlacementAborted either way.
+  CommitResult Commit(const PlacementPlan& plan);
+
+  /// Release the sentinel bindings a RepartitionAction placed on `fresh`
+  /// (the reconfiguration blackout is over). Ids already retired by a later
+  /// repartition are skipped.
+  void FinishRepartition(const std::vector<SliceId>& fresh,
+                         InstanceId sentinel);
 
   /// Release slices and retire. The instance must be idle.
   void RetireInstance(Instance* inst);
@@ -154,6 +163,19 @@ class PlatformCore {
   };
 
   void HandleCompletion(RequestId rid);
+
+  /// Commit-internal: bind the plan's slices, create the instance, and
+  /// start loading. `warm` selects the warm- vs cold-load path for the
+  /// weight bytes; `extra_load_delay` serializes in front of the load
+  /// (e.g. the D2H checkpoint of an instance just evicted from the target
+  /// slice). Only Commit() and the crash-respawn path may call this —
+  /// keeping every Bind inside the transaction boundary.
+  Instance* LaunchInstance(const FunctionSpec& fn, core::PipelinePlan plan,
+                           bool warm, SimDuration extra_load_delay = 0);
+
+  /// Validation half of Commit: first cause that would make `plan`
+  /// inapplicable against live state, or kNone.
+  sim::PlanAbortCause ValidatePlan(const PlacementPlan& plan);
 
   /// Per-request service-time jitter factor.
   double SampleJitter();

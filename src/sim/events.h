@@ -262,6 +262,60 @@ struct RequestAbandoned {
   SimTime at = 0;
 };
 
+// --- placement transactions (DESIGN.md §8) ---------------------------------
+
+/// Why a placement plan failed validation at commit time. The taxonomy is
+/// exactly the set of ways live state can drift from the ClusterView a plan
+/// was built on: slices retire (repartition), fail, or get taken by a
+/// concurrent planner; eviction/drain victims vanish or pick up work.
+enum class PlanAbortCause {
+  kNone,          // committed
+  kSliceRetired,  // a reserved slice id was retired by a repartition
+  kSliceFailed,   // a reserved slice faulted between plan and commit
+  kSliceConflict, // a reserved slice was bound by someone else meanwhile
+  kVictimGone,    // an evict/drain victim already retired or failed
+  kVictimBusy,    // an evict victim picked up work and is no longer idle
+  kGpuNotIdle,    // a repartition target has bound slices
+};
+
+constexpr const char* Name(PlanAbortCause c) {
+  switch (c) {
+    case PlanAbortCause::kNone:
+      return "none";
+    case PlanAbortCause::kSliceRetired:
+      return "slice-retired";
+    case PlanAbortCause::kSliceFailed:
+      return "slice-failed";
+    case PlanAbortCause::kSliceConflict:
+      return "slice-conflict";
+    case PlanAbortCause::kVictimGone:
+      return "victim-gone";
+    case PlanAbortCause::kVictimBusy:
+      return "victim-busy";
+    case PlanAbortCause::kGpuNotIdle:
+      return "gpu-not-idle";
+  }
+  return "?";
+}
+
+/// Number of PlanAbortCause values (for per-cause counter arrays).
+inline constexpr int kNumPlanAbortCauses =
+    static_cast<int>(PlanAbortCause::kGpuNotIdle) + 1;
+
+/// A placement plan passed validation and was applied atomically.
+struct PlacementCommitted {
+  int actions = 0;  // total actions in the plan
+  int spawns = 0;   // instances launched by the plan
+  SimTime at = 0;
+};
+
+/// A placement plan failed validation; nothing was applied.
+struct PlacementAborted {
+  PlanAbortCause cause = PlanAbortCause::kNone;
+  int actions = 0;
+  SimTime at = 0;
+};
+
 // --- runtime repartitioning ------------------------------------------------
 
 /// A GPU was repartitioned at runtime (Repartition baseline); `blackout`

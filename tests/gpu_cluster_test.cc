@@ -153,11 +153,11 @@ TEST(ClusterTest, HybridSchemeBuilds) {
 TEST(GpuTest, RepartitionRequiresAllFree) {
   Cluster c = MakeTestCluster();
   c.Bind(SliceId(0), InstanceId(1));
-  // Direct repartition of that GPU must fail while bound.
-  Gpu g(GpuId(9), NodeId(0), DefaultPartition(), SliceId(100));
-  g.slices()[0].occupant = InstanceId(3);
-  EXPECT_THROW(g.Repartition(MigPartition::Parse("7g.80gb"), SliceId(100)),
-               FfsError);
+  // Repartition of that GPU must fail while a slice is bound. (Occupancy can
+  // only be set through Cluster::Bind — the mutable slice accessors are gone
+  // — so the whole-cluster API is the only way to stage this.)
+  const GpuId g = c.slice(SliceId(0)).gpu;
+  EXPECT_THROW(c.RepartitionGpu(g, MigPartition::Parse("7g.80gb")), FfsError);
 }
 
 TEST(ReconfigCostTest, MinutesScaleCost) {
@@ -225,6 +225,63 @@ TEST(ClusterFaultTest, GuardsRejectInvalidTransitions) {
   EXPECT_THROW(c.MarkFailed(SliceId(0)), FfsError);  // double failure
   EXPECT_THROW(c.Bind(SliceId(0), InstanceId(2)), FfsError);
   EXPECT_THROW(c.Repair(SliceId(1)), FfsError);  // healthy slice
+}
+
+// --- typed error codes ------------------------------------------------------
+//
+// Callers (PlatformCore::Commit validation, recovery paths, these tests)
+// dispatch on FfsError::code() instead of parsing message strings.
+
+TEST(ClusterErrorCodeTest, BindOccupiedRaisesSliceOccupied) {
+  Cluster c = MakeTestCluster();
+  c.Bind(SliceId(0), InstanceId(1));
+  try {
+    c.Bind(SliceId(0), InstanceId(2));
+    FAIL() << "double bind must throw";
+  } catch (const FfsError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSliceOccupied);
+  }
+}
+
+TEST(ClusterErrorCodeTest, BindFailedRaisesSliceFailed) {
+  Cluster c = MakeTestCluster();
+  c.MarkFailed(SliceId(0));
+  try {
+    c.Bind(SliceId(0), InstanceId(1));
+    FAIL() << "bind on failed slice must throw";
+  } catch (const FfsError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSliceFailed);
+  }
+}
+
+TEST(ClusterErrorCodeTest, ReleaseByNonOccupantRaisesNotOccupant) {
+  Cluster c = MakeTestCluster();
+  c.Bind(SliceId(0), InstanceId(1));
+  try {
+    c.Release(SliceId(0), InstanceId(2));
+    FAIL() << "release by non-occupant must throw";
+  } catch (const FfsError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotOccupant);
+  }
+  try {
+    c.Release(SliceId(1), InstanceId(1));  // free slice, no occupant at all
+    FAIL() << "release of a free slice must throw";
+  } catch (const FfsError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotOccupant);
+  }
+}
+
+TEST(ClusterErrorCodeTest, RetiredSliceAccessRaisesSliceRetired) {
+  Cluster c = MakeTestCluster();
+  const GpuId gpu = c.slice(SliceId(0)).gpu;
+  c.RepartitionGpu(gpu, MigPartition::Parse("7g.80gb"));
+  ASSERT_TRUE(c.IsDead(SliceId(0)));
+  try {
+    (void)c.slice(SliceId(0));
+    FAIL() << "retired slice access must throw";
+  } catch (const FfsError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSliceRetired);
+  }
 }
 
 TEST(ClusterFaultTest, RepairAfterRepartitionIsANoOp) {

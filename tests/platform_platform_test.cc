@@ -43,11 +43,12 @@ class TestRouting final : public RoutingPolicy {
     }
     if (inst == nullptr) {
       const FunctionSpec& spec = core.function(fn);
-      auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
-      if (!sid) return false;
-      inst = core.LaunchInstance(
-          spec, *core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid),
-          core.IsWarm(fn));
+      auto plan = core::MonolithicPlanOnSmallestSlice(spec.dag, core.cluster());
+      if (!plan) return false;
+      const CommitResult result =
+          core.Commit(SpawnPlan(fn, std::move(*plan), core.IsWarm(fn)));
+      if (!result.ok()) return false;
+      inst = result.spawned.front();
     }
     inst->Enqueue(rid, core.JitterOf(rid));
     return true;
@@ -102,11 +103,12 @@ TEST_F(PlatformTest, NameComesFromBundle) { EXPECT_EQ(plat_.name(), "test"); }
 
 TEST_F(PlatformTest, LaunchBindsSlicesAndRetireReleases) {
   const FunctionSpec& spec = plat_.function(FunctionId(0));
-  auto plan = core::MonolithicPlanOnSlice(
-      spec.dag, cluster_, *cluster_.SmallestFreeSliceWithMemory(
-                              spec.total_memory));
+  auto plan = core::MonolithicPlanOnSmallestSlice(spec.dag, cluster_);
   const SliceId used = plan->stages[0].slice;
-  Instance* inst = plat_.LaunchInstance(spec, *plan, /*warm=*/false);
+  const CommitResult result =
+      plat_.Commit(SpawnPlan(spec.id, *plan, /*warm=*/false));
+  ASSERT_TRUE(result.ok());
+  Instance* inst = result.spawned.front();
   EXPECT_FALSE(cluster_.slice(used).free());
   EXPECT_EQ(cluster_.slice(used).occupant, inst->id());
   sim_.Run();  // finish loading

@@ -95,7 +95,10 @@ class FlexRouting final : public RoutingPolicy {
         }
       }
       if (!plan) return false;
-      target = core.LaunchInstance(spec, std::move(*plan), core.IsWarm(fn));
+      const CommitResult result =
+          core.Commit(SpawnPlan(fn, std::move(*plan), core.IsWarm(fn)));
+      if (!result.ok()) return false;
+      target = result.spawned.front();
     }
     target->Enqueue(rid, core.JitterOf(rid));
     return true;

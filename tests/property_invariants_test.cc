@@ -4,10 +4,20 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <optional>
+#include <set>
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "core/pipeline.h"
 #include "gpu/cluster.h"
+#include "gpu/cluster_view.h"
+#include "metrics/recorder.h"
+#include "model/zoo.h"
+#include "platform/placement.h"
+#include "platform/platform.h"
+#include "platform/policy.h"
 
 namespace fluidfaas {
 namespace {
@@ -139,6 +149,201 @@ TEST(ClusterProperty, RepartitionPreservesOtherGpus) {
     }
     EXPECT_EQ(cluster.gpu(GpuId(0)).partition().Profiles(),
               target.Profiles());
+  }
+}
+
+// --- ClusterView overlay vs a brute-force reference -------------------------
+
+TEST(ClusterViewProperty, OverlayQueriesMatchReferenceModel) {
+  Rng rng(409);
+  for (int trial = 0; trial < 10; ++trial) {
+    gpu::Cluster cluster =
+        gpu::Cluster::Uniform(2, 2, gpu::DefaultPartition());
+    // Random live state: some slices bound, some failed.
+    std::int32_t next_inst = 1;
+    for (SliceId sid : cluster.AllSlices()) {
+      if (rng.Chance(0.4)) {
+        cluster.Bind(sid, InstanceId(next_inst++));
+      } else if (rng.Chance(0.2)) {
+        cluster.MarkFailed(sid);
+      }
+    }
+    gpu::ClusterView view(cluster);
+    std::set<std::int32_t> reserved, planned;
+    const auto all = cluster.AllSlices();
+    std::map<std::int32_t, std::int32_t> live_before;  // slice -> occupant
+    for (SliceId s : all) live_before[s.value] = cluster.slice(s).occupant.value;
+    for (int step = 0; step < 60; ++step) {
+      const SliceId sid = all[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(all.size()) - 1))];
+      if (view.Allocatable(sid) && rng.Chance(0.5)) {
+        view.Reserve(sid);
+        reserved.insert(sid.value);
+      } else if (!cluster.slice(sid).free() && rng.Chance(0.5)) {
+        view.MarkPlannedFree(sid);
+        planned.insert(sid.value);
+      }
+      // Reference allocatable: reservation wins, then the planned-free
+      // overlay (failure still masks it), then live state.
+      const auto ref_alloc = [&](SliceId s) {
+        if (reserved.count(s.value)) return false;
+        if (planned.count(s.value)) return !cluster.IsFailed(s);
+        return cluster.slice(s).allocatable();
+      };
+      std::vector<SliceId> expect;
+      for (SliceId s : all) {
+        if (ref_alloc(s)) expect.push_back(s);
+      }
+      EXPECT_EQ(view.FreeSlices(), expect) << "trial " << trial;
+      for (gpu::MigProfile p : gpu::kAllProfiles) {
+        std::vector<SliceId> expect_p;
+        for (SliceId s : expect) {
+          if (cluster.slice(s).profile() == p) expect_p.push_back(s);
+        }
+        EXPECT_EQ(view.FreeSlices(p), expect_p);
+      }
+      for (int n = 0; n < cluster.num_nodes(); ++n) {
+        std::vector<SliceId> expect_n;
+        for (SliceId s : expect) {
+          if (cluster.slice(s).node == NodeId(n)) expect_n.push_back(s);
+        }
+        EXPECT_EQ(view.FreeSlicesOnNode(NodeId(n)), expect_n);
+      }
+      const Bytes need = GiB(rng.UniformInt(1, 80));
+      std::optional<SliceId> smallest;
+      for (SliceId s : expect) {
+        if (cluster.slice(s).memory() < need) continue;
+        if (!smallest ||
+            cluster.slice(s).gpcs() < cluster.slice(*smallest).gpcs()) {
+          smallest = s;  // expect is id-ordered: ties keep the lowest id
+        }
+      }
+      EXPECT_EQ(view.SmallestFreeSliceWithMemory(need), smallest);
+    }
+    // The overlay never leaked into live state: occupancy is untouched.
+    for (SliceId s : all) {
+      EXPECT_EQ(cluster.slice(s).occupant.value, live_before[s.value]);
+    }
+  }
+}
+
+// --- Placement plan/commit fuzz ---------------------------------------------
+
+std::vector<platform::FunctionSpec> FuzzFunctions() {
+  std::vector<platform::FunctionSpec> fns;
+  int id = 0;
+  for (auto& dag : model::BuildStudyApps(model::Variant::kSmall)) {
+    const int app = id;
+    fns.push_back(platform::MakeFunctionSpec(FunctionId(id++), app,
+                                             model::Variant::kSmall, dag,
+                                             1.5));
+  }
+  return fns;
+}
+
+class FuzzRouting final : public platform::RoutingPolicy {
+ public:
+  bool Route(platform::PlatformCore&, RequestId, FunctionId) override {
+    return false;
+  }
+};
+
+class FuzzScaling final : public platform::ScalingPolicy {
+ public:
+  void Tick(platform::PlatformCore&) override {}
+};
+
+platform::PolicyBundle FuzzBundle() {
+  platform::PolicyBundle b;
+  b.name = "plan-fuzz";
+  b.routing = std::make_unique<FuzzRouting>();
+  b.scaling = std::make_unique<FuzzScaling>();
+  return b;
+}
+
+// Randomized racing plans with injected drift (slice failures/repairs
+// between plan and commit): every Commit either applies fully — spawned
+// instances bound to exactly their planned slices — or aborts with a typed
+// cause leaving occupancy byte-identical.
+TEST(PlanCommitProperty, RacingPlansCommitAtomicallyUnderDrift) {
+  Rng rng(410);
+  for (int trial = 0; trial < 6; ++trial) {
+    sim::Simulator sim;
+    gpu::Cluster cluster =
+        gpu::Cluster::Uniform(1, 2, gpu::DefaultPartition());
+    metrics::Recorder recorder(cluster);
+    recorder.SubscribeTo(sim.bus());
+    platform::PlatformCore plat(sim, cluster, FuzzFunctions(),
+                                platform::PlatformConfig{}, FuzzBundle());
+    const auto num_fns = static_cast<std::int64_t>(plat.functions().size());
+    std::size_t attempts = 0;
+    std::size_t committed_total = 0;
+
+    for (int round = 0; round < 30; ++round) {
+      // 1–3 racers plan off independent snapshots of the same state, so
+      // overlapping picks surface as kSliceConflict at commit time.
+      std::vector<platform::PlacementPlan> plans;
+      const std::int64_t racers = rng.UniformInt(1, 3);
+      for (std::int64_t r = 0; r < racers; ++r) {
+        gpu::ClusterView view(cluster);
+        const FunctionId fn(
+            static_cast<std::int32_t>(rng.UniformInt(0, num_fns - 1)));
+        auto pipeline =
+            core::MonolithicPlanOnSmallestSlice(plat.function(fn).dag, view);
+        if (!pipeline) continue;
+        plans.push_back(
+            platform::SpawnPlan(fn, std::move(*pipeline), false));
+      }
+      // Drift between plan and commit.
+      if (rng.Chance(0.35)) {
+        const auto free = cluster.FreeSlices();
+        if (!free.empty()) {
+          cluster.MarkFailed(free[static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(free.size()) - 1))]);
+        }
+      }
+      if (rng.Chance(0.35)) {
+        for (SliceId s : cluster.AllSlices()) {
+          if (cluster.IsFailed(s)) {
+            cluster.Repair(s);
+            break;
+          }
+        }
+      }
+
+      const std::size_t before_insts = plat.AllInstances().size();
+      std::size_t committed = 0;
+      for (const auto& p : plans) {
+        ++attempts;
+        const auto snapshot = cluster.FreeSlices();
+        const platform::CommitResult result = plat.Commit(p);
+        if (result.ok()) {
+          ++committed;
+          EXPECT_FALSE(result.spawned.empty());
+        } else {
+          EXPECT_NE(result.cause, sim::PlanAbortCause::kNone);
+          EXPECT_TRUE(result.spawned.empty());
+          EXPECT_EQ(cluster.FreeSlices(), snapshot)
+              << "aborted commit mutated occupancy";
+        }
+      }
+      committed_total += committed;
+      EXPECT_EQ(plat.AllInstances().size(), before_insts + committed);
+      // Strong isolation: every live instance holds exactly its planned
+      // slices.
+      for (platform::Instance* inst : plat.AllInstances()) {
+        for (const auto& stage : inst->plan().stages) {
+          EXPECT_EQ(cluster.slice(stage.slice).occupant, inst->id());
+        }
+      }
+      sim.Run();  // drain loads so everything is idle
+      for (platform::Instance* inst : plat.AllInstances()) {
+        if (rng.Chance(0.5)) plat.RetireInstance(inst);
+      }
+    }
+    EXPECT_EQ(recorder.plans_committed() + recorder.plans_aborted(),
+              attempts);
+    EXPECT_EQ(recorder.plans_committed(), committed_total);
   }
 }
 

@@ -170,11 +170,12 @@ class GreedyRouting final : public platform::RoutingPolicy {
     }
     if (inst == nullptr) {
       const platform::FunctionSpec& spec = core.function(fn);
-      auto sid = core.cluster().SmallestFreeSliceWithMemory(spec.total_memory);
-      if (!sid) return false;
-      inst = core.LaunchInstance(
-          spec, *core::MonolithicPlanOnSlice(spec.dag, core.cluster(), *sid),
-          core.IsWarm(fn));
+      auto plan = core::MonolithicPlanOnSmallestSlice(spec.dag, core.cluster());
+      if (!plan) return false;
+      const platform::CommitResult result = core.Commit(
+          platform::SpawnPlan(fn, std::move(*plan), core.IsWarm(fn)));
+      if (!result.ok()) return false;
+      inst = result.spawned.front();
     }
     inst->Enqueue(rid, core.JitterOf(rid));
     return true;

@@ -162,6 +162,30 @@ int CmdRun(const CliArgs& args) {
             << ToSeconds(cfg.duration) << "s simulated\n";
   table.Print();
 
+  metrics::Table placement({"system", "plans", "committed", "aborted",
+                            "spawns", "conflict rate", "top abort cause"});
+  for (const auto& r : results) {
+    // Dominant abort cause, or "-" when every plan committed.
+    std::size_t worst = 0;
+    const char* worst_name = "-";
+    for (int c = 1; c < sim::kNumPlanAbortCauses; ++c) {
+      const std::size_t n =
+          r.plan_aborts_by_cause[static_cast<std::size_t>(c)];
+      if (n > worst) {
+        worst = n;
+        worst_name = sim::Name(static_cast<sim::PlanAbortCause>(c));
+      }
+    }
+    placement.AddRow({r.system,
+                      std::to_string(r.plans_committed + r.plans_aborted),
+                      std::to_string(r.plans_committed),
+                      std::to_string(r.plans_aborted),
+                      std::to_string(r.spawns_committed),
+                      metrics::FmtPercent(r.plan_conflict_rate), worst_name});
+  }
+  std::cout << "placement transactions:\n";
+  placement.Print();
+
   if (cfg.faults.rate > 0.0) {
     metrics::Table faults({"system", "goodput", "failed inst", "failed slc",
                            "retries", "recovered", "timeouts", "abandoned"});
