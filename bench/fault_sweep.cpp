@@ -95,6 +95,15 @@ int main() {
           .Value(r.plan_aborts_by_cause[static_cast<std::size_t>(c)]);
     }
     w.EndObject();
+    // Admission rejections (zero with the default fifo/none queue policy;
+    // JSON-only so the stdout table is unchanged by the QoS subsystem).
+    w.Key("rejected").Value(r.rejected);
+    w.Key("rejects_by_cause").BeginObject();
+    for (int c = 1; c < sim::kNumRejectCauses; ++c) {
+      w.Key(sim::Name(static_cast<sim::RejectCause>(c)))
+          .Value(r.rejects_by_cause[static_cast<std::size_t>(c)]);
+    }
+    w.EndObject();
     w.EndObject();
   }
   table.Print();

@@ -16,6 +16,7 @@
 #include "platform/placement.h"
 #include "platform/platform.h"
 #include "platform/policy.h"
+#include "qos/queue_discipline.h"
 #include "runtime/spsc_ring.h"
 #include "sim/simulator.h"
 
@@ -231,6 +232,59 @@ void BM_PlacementCommitUnderFaults(benchmark::State& state) {
                           static_cast<double>(attempts);
 }
 BENCHMARK(BM_PlacementCommitUnderFaults)->Arg(0)->Arg(10)->Arg(30);
+
+// QoS queue disciplines (DESIGN.md §9): enqueue n requests across 16
+// functions with varied deadlines/estimates, then drain everything. Items
+// processed counts one enqueue+dequeue pair per request, so ops/s compares
+// the per-request bookkeeping cost of fifo vs fair vs edf directly.
+void QueueDisciplineRound(qos::QueueDiscipline& q, int n,
+                          benchmark::State& state) {
+  Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    qos::QueueItem item;
+    item.rid = RequestId(i);
+    item.fn = FunctionId(static_cast<std::int32_t>(rng.UniformInt(0, 15)));
+    item.deadline = rng.UniformInt(1, 1'000'000);
+    item.priority = item.deadline;
+    item.service_estimate = rng.UniformInt(1, 10'000);
+    q.Enqueue(item);
+  }
+  std::int64_t dispatched = 0;
+  q.Drain([&dispatched](const qos::QueueItem&) {
+    ++dispatched;
+    return qos::DrainVerdict::kDispatch;
+  });
+  benchmark::DoNotOptimize(dispatched);
+  if (dispatched != n) state.SkipWithError("drain lost items");
+}
+
+template <typename MakeQueue>
+void QueueDisciplineBench(benchmark::State& state, MakeQueue make) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto q = make();
+    QueueDisciplineRound(*q, n, state);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_QueueDiscipline_Fifo(benchmark::State& state) {
+  QueueDisciplineBench(state,
+                       [] { return std::make_unique<qos::FifoQueue>(); });
+}
+BENCHMARK(BM_QueueDiscipline_Fifo)->Arg(1024);
+
+void BM_QueueDiscipline_Fair(benchmark::State& state) {
+  QueueDisciplineBench(
+      state, [] { return std::make_unique<qos::FairQueue>(4); });
+}
+BENCHMARK(BM_QueueDiscipline_Fair)->Arg(1024);
+
+void BM_QueueDiscipline_Edf(benchmark::State& state) {
+  QueueDisciplineBench(state,
+                       [] { return std::make_unique<qos::EdfQueue>(); });
+}
+BENCHMARK(BM_QueueDiscipline_Edf)->Arg(1024);
 
 }  // namespace
 }  // namespace fluidfaas

@@ -1,0 +1,167 @@
+// Overload sweep (QoS extension, DESIGN.md §9): how do the queueing
+// disciplines and admission control change behaviour as offered load climbs
+// past capacity? Each scheduler runs under four queue policies —
+//   fifo/none  the legacy adjusted-deadline FIFO, no admission control
+//   fair/none  per-function virtual-time fair queueing (MQFQ-style)
+//   edf/none   earliest-deadline-first
+//   fifo/shed  FIFO plus deadline-infeasible shedding at dispatch
+// at 1x / 1.5x / 2x the tier's default load factor. Fair queueing targets
+// the starved-tenant tail (worst-function p99, Jain index); shedding
+// targets goodput — dropping doomed work early frees slices for requests
+// that can still hit their SLO.
+//
+// Every cell is replicated across kSeeds trace seeds and the table reports
+// per-cell means: the tail metrics under hard overload are seed-sensitive
+// (which functions the synthesizer makes hot decides who starves), so a
+// single seed can flip a small fairness delta either way. Three seeds are
+// enough for the orderings this bench demonstrates to be stable.
+//
+// The whole grid executes through the parallel sweep engine (RunConfigs);
+// rows and the JSON artifact land in grid order, so stdout is
+// byte-identical at any FFS_JOBS.
+#include <array>
+#include <cstdlib>
+#include <fstream>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "harness/json_report.h"
+
+using namespace fluidfaas;
+
+namespace {
+
+constexpr double kLoadMultipliers[] = {1.0, 1.5, 2.0};
+// Medium tier's default load factor (trace::DefaultLoadFactor).
+constexpr double kBaseLoadFactor = 0.52;
+constexpr uint64_t kSeeds[] = {1, 2, 3};
+
+struct QosVariant {
+  const char* label;
+  const char* queue;
+  const char* admission;
+};
+
+constexpr QosVariant kVariants[] = {
+    {"fifo/none", "fifo", "none"},
+    {"fair/none", "fair", "none"},
+    {"edf/none", "edf", "none"},
+    {"fifo/shed", "fifo", "shed"},
+};
+
+constexpr harness::SystemKind kSystems[] = {
+    harness::SystemKind::kInfless,    harness::SystemKind::kEsg,
+    harness::SystemKind::kRepartition,
+    harness::SystemKind::kFluidFaasDistributed,
+    harness::SystemKind::kFluidFaas,
+};
+
+}  // namespace
+
+int main() {
+  bench::Banner("Overload sweep — queue disciplines & admission control",
+                "QoS extension beyond the paper");
+
+  std::vector<harness::ExperimentConfig> configs;
+  for (const double mult : kLoadMultipliers) {
+    for (const QosVariant& v : kVariants) {
+      for (const harness::SystemKind sys : kSystems) {
+        for (const uint64_t seed : kSeeds) {
+          harness::ExperimentConfig cfg =
+              bench::PaperConfig(trace::WorkloadTier::kMedium);
+          cfg.duration = bench::BenchDuration(60.0);
+          cfg.system = sys;
+          cfg.seed = seed;
+          cfg.load_factor = kBaseLoadFactor * mult;
+          cfg.platform.qos.queue = v.queue;
+          cfg.platform.qos.admission = v.admission;
+          configs.push_back(cfg);
+        }
+      }
+    }
+  }
+  const std::vector<harness::ExperimentResult> results =
+      bench::RunAll(configs);
+
+  constexpr std::size_t kReps = std::size(kSeeds);
+  metrics::Table table({"load", "policy", "system", "goodput", "SLO hit",
+                        "worst-fn p99", "jain", "rejected", "top cause"});
+  JsonWriter w;
+  w.BeginArray();
+  std::size_t i = 0;
+  for (const double mult : kLoadMultipliers) {
+    for (const QosVariant& v : kVariants) {
+      for (std::size_t s = 0; s < std::size(kSystems); ++s) {
+        // Mean over the seed replicas; rejection causes summed so the
+        // dominant cause reflects the whole replica set.
+        double goodput = 0, slo = 0, p99 = 0, jain = 0, rejected = 0;
+        std::array<std::size_t, sim::kNumRejectCauses> by_cause{};
+        for (std::size_t k = 0; k < kReps; ++k) {
+          const harness::ExperimentResult& r = results[i + k];
+          goodput += r.goodput_rps;
+          slo += r.slo_hit_rate;
+          p99 += r.worst_fn_p99_s;
+          jain += r.jain_fairness;
+          rejected += static_cast<double>(r.rejected);
+          for (int c = 0; c < sim::kNumRejectCauses; ++c) {
+            by_cause[static_cast<std::size_t>(c)] +=
+                r.rejects_by_cause[static_cast<std::size_t>(c)];
+          }
+        }
+        goodput /= kReps;
+        slo /= kReps;
+        p99 /= kReps;
+        jain /= kReps;
+        rejected /= kReps;
+        std::size_t worst = 0;
+        const char* worst_name = "-";
+        for (int c = 1; c < sim::kNumRejectCauses; ++c) {
+          const std::size_t n = by_cause[static_cast<std::size_t>(c)];
+          if (n > worst) {
+            worst = n;
+            worst_name = sim::Name(static_cast<sim::RejectCause>(c));
+          }
+        }
+        table.AddRow({metrics::Fmt(mult, 1) + "x", v.label,
+                      results[i].system,
+                      metrics::Fmt(goodput, 1) + " rps",
+                      metrics::FmtPercent(slo),
+                      metrics::Fmt(p99, 2) + "s", metrics::Fmt(jain, 3),
+                      metrics::Fmt(rejected, 0), worst_name});
+        w.BeginObject();
+        w.Key("load_multiplier").Value(mult);
+        w.Key("queue").Value(v.queue);
+        w.Key("admission").Value(v.admission);
+        w.Key("mean").BeginObject();
+        w.Key("goodput_rps").Value(goodput);
+        w.Key("slo_hit_rate").Value(slo);
+        w.Key("worst_fn_p99_s").Value(p99);
+        w.Key("jain_fairness").Value(jain);
+        w.Key("rejected").Value(rejected);
+        w.EndObject();
+        w.Key("seeds").BeginArray();
+        for (std::size_t k = 0; k < kReps; ++k) {
+          w.Raw(harness::ResultToJson(results[i + k]));
+        }
+        w.EndArray();
+        w.EndObject();
+        i += kReps;
+      }
+    }
+  }
+  table.Print();
+  w.EndArray();
+
+  const char* env = std::getenv("FFS_OVERLOAD_SWEEP_OUT");
+  const std::string path = env != nullptr ? env : "overload_sweep.json";
+  std::ofstream out(path);
+  FFS_CHECK_MSG(out.good(), "cannot write " + path);
+  out << w.Take() << "\n";
+  std::cout << "\nJSON report written to " << path << " (means over "
+            << kReps << " seeds per cell)\n"
+            << "At 2x load, fair queueing trades a little aggregate\n"
+               "throughput for a flatter per-function profile (higher Jain,\n"
+               "lower worst-function p99); shedding drops work that cannot\n"
+               "meet its deadline, lifting goodput over admit-everything.\n";
+  return 0;
+}

@@ -39,7 +39,7 @@ bool AdmitBounded(Instance* inst, RequestId rid, double jitter, SimTime now,
                   SimTime deadline, SimDuration slo) {
   if (inst == nullptr) return false;
   if (!inst->AdmitWithinBound(now, deadline, slo)) return false;
-  inst->Enqueue(rid, jitter);
+  inst->Enqueue(rid, jitter, deadline);
   return true;
 }
 

@@ -159,7 +159,7 @@ bool RepartitionRouting::Route(platform::PlatformCore& core, RequestId rid,
   if (best == nullptr || !best->AdmitWithinBound(now, deadline, spec.slo)) {
     return false;
   }
-  best->Enqueue(rid, core.JitterOf(rid));
+  best->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
   return true;
 }
 

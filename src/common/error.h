@@ -19,6 +19,7 @@ enum class ErrorCode {
   kSliceFailed,     // Bind on a faulted slice before Repair
   kSliceRetired,    // slice id retired by a repartition
   kNotOccupant,     // Release by an instance that does not hold the slice
+  kMalformedTrace,  // unparseable trace/dataset input (trace::AzureLoader)
 };
 
 /// Thrown on violated preconditions / invariants in library code. Simulation
@@ -42,6 +43,7 @@ inline const char* Name(ErrorCode code) {
     case ErrorCode::kSliceFailed:   return "slice_failed";
     case ErrorCode::kSliceRetired:  return "slice_retired";
     case ErrorCode::kNotOccupant:   return "not_occupant";
+    case ErrorCode::kMalformedTrace: return "malformed_trace";
   }
   return "unknown";
 }

@@ -85,6 +85,13 @@ class JsonWriter {
     out_ += v ? "true" : "false";
     return *this;
   }
+  /// Splice a pre-rendered JSON value verbatim (e.g. a nested document
+  /// produced by another writer). The caller guarantees it is valid JSON.
+  JsonWriter& Raw(const std::string& json) {
+    Prefix();
+    out_ += json;
+    return *this;
+  }
 
   /// Finish and return the document; the writer must be balanced.
   std::string Take() {

@@ -212,7 +212,7 @@ bool DistState::RouteOn(platform::PlatformCore& core, Invoker& inv,
   });
   for (Instance* inst : hot) {
     if (inst->EstimateCompletion(now) <= deadline) {
-      inst->Enqueue(rid, core.JitterOf(rid));
+      inst->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
       st.ts_last_used = now;
       return true;
     }
@@ -220,14 +220,14 @@ bool DistState::RouteOn(platform::PlatformCore& core, Invoker& inv,
   if (core.config().enable_time_sharing) {
     if (st.ts != nullptr && st.ts->CanAdmit()) {
       if (st.ts->EstimateCompletion(now) <= deadline || hot.empty()) {
-        st.ts->Enqueue(rid, core.JitterOf(rid));
+        st.ts->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
         st.ts_last_used = now;
         return true;
       }
     } else if (st.ts == nullptr) {
       Instance* inst = EnsureTsResidentOn(core, inv, fn);
       if (inst != nullptr) {
-        inst->Enqueue(rid, core.JitterOf(rid));
+        inst->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
         st.ts_last_used = now;
         return true;
       }
@@ -235,7 +235,7 @@ bool DistState::RouteOn(platform::PlatformCore& core, Invoker& inv,
   } else if (hot.empty()) {
     Instance* inst = LaunchExclusiveOn(core, inv, spec);
     if (inst != nullptr) {
-      inst->Enqueue(rid, core.JitterOf(rid));
+      inst->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
       return true;
     }
   }
@@ -254,7 +254,7 @@ bool DistState::RouteOn(platform::PlatformCore& core, Invoker& inv,
     best = st.ts;
   }
   if (best != nullptr && best->AdmitWithinBound(now, deadline, spec.slo)) {
-    best->Enqueue(rid, core.JitterOf(rid));
+    best->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
     st.ts_last_used = now;
     return true;
   }

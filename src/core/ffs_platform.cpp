@@ -179,7 +179,7 @@ bool FfsRouting::Route(platform::PlatformCore& core, RequestId rid,
   });
   for (Instance* inst : hot) {
     if (inst->EstimateCompletion(now) <= deadline) {
-      inst->Enqueue(rid, core.JitterOf(rid));
+      inst->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
       st.ts_last_used = now;
       return true;
     }
@@ -190,14 +190,14 @@ bool FfsRouting::Route(platform::PlatformCore& core, RequestId rid,
   if (core.config().enable_time_sharing) {
     if (st.ts != nullptr && st.ts->CanAdmit()) {
       if (st.ts->EstimateCompletion(now) <= deadline || hot.empty()) {
-        st.ts->Enqueue(rid, core.JitterOf(rid));
+        st.ts->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
         st.ts_last_used = now;
         return true;
       }
     } else if (st.ts == nullptr) {
       Instance* inst = st_->EnsureTsResident(core, fn);
       if (inst != nullptr) {
-        inst->Enqueue(rid, core.JitterOf(rid));
+        inst->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
         st.ts_last_used = now;
         return true;
       }
@@ -207,7 +207,7 @@ bool FfsRouting::Route(platform::PlatformCore& core, RequestId rid,
     // an instance; use an exclusive one.
     Instance* inst = st_->LaunchExclusive(core, spec);
     if (inst != nullptr) {
-      inst->Enqueue(rid, core.JitterOf(rid));
+      inst->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
       return true;
     }
   }
@@ -231,7 +231,7 @@ bool FfsRouting::Route(platform::PlatformCore& core, RequestId rid,
   // Bound per-instance backlog (see Instance::AdmitWithinBound) so overload
   // stays in the EDF-ordered pending set instead of FIFO queues.
   if (best != nullptr && best->AdmitWithinBound(now, deadline, spec.slo)) {
-    best->Enqueue(rid, core.JitterOf(rid));
+    best->Enqueue(rid, core.JitterOf(rid), core.DeadlineOf(rid));
     st.ts_last_used = now;
     return true;
   }

@@ -113,6 +113,14 @@ struct ExperimentResult {
   std::array<std::size_t, sim::kNumPlanAbortCauses> plan_aborts_by_cause{};
   double plan_conflict_rate = 0.0;  // aborted / all commit attempts
 
+  // QoS (DESIGN.md §9). With the default fifo/none queue policy rejected
+  // stays zero and jain/worst-p99 summarize the run's fairness profile.
+  std::size_t rejected = 0;
+  std::array<std::size_t, sim::kNumRejectCauses> rejects_by_cause{};
+  double mean_queue_depth = 0.0;
+  double jain_fairness = 0.0;
+  double worst_fn_p99_s = 0.0;
+
   // Scheduler-behaviour counters (FluidFaaS only; zero otherwise).
   std::size_t evictions = 0;
   std::size_t promotions = 0;

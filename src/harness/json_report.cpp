@@ -62,6 +62,20 @@ void WriteResult(JsonWriter& w, const ExperimentResult& r) {
   }
   w.EndObject();
   w.EndObject();
+  w.Key("qos").BeginObject();
+  w.Key("rejected").Value(r.rejected);
+  w.Key("rejects_by_cause").BeginObject();
+  // kNone never rejects a request; start at the first real cause.
+  for (int c = 1; c < sim::kNumRejectCauses; ++c) {
+    const auto cause = static_cast<sim::RejectCause>(c);
+    w.Key(sim::Name(cause)).Value(
+        r.rejects_by_cause[static_cast<std::size_t>(c)]);
+  }
+  w.EndObject();
+  w.Key("mean_queue_depth").Value(r.mean_queue_depth);
+  w.Key("jain_fairness").Value(r.jain_fairness);
+  w.Key("worst_fn_p99_s").Value(r.worst_fn_p99_s);
+  w.EndObject();
   w.Key("scheduler").BeginObject();
   w.Key("pipelines_launched").Value(r.pipelines_launched);
   w.Key("evictions").Value(r.evictions);

@@ -164,6 +164,14 @@ ExperimentResult RunContext::Run() {
         recorder_->plans_aborted_by(static_cast<sim::PlanAbortCause>(c));
   }
   res.plan_conflict_rate = recorder_->PlanConflictRate();
+  res.rejected = recorder_->rejected_requests();
+  for (int c = 0; c < sim::kNumRejectCauses; ++c) {
+    res.rejects_by_cause[static_cast<std::size_t>(c)] =
+        recorder_->rejected_by(static_cast<sim::RejectCause>(c));
+  }
+  res.mean_queue_depth = recorder_->MeanQueueDepth();
+  res.jain_fairness = recorder_->JainFairnessIndex();
+  res.worst_fn_p99_s = recorder_->WorstFunctionP99();
   res.mig_time = recorder_->MigTime();
   res.gpu_time = recorder_->GpuTime();
   const platform::SchedulerCounters sc = platform_->scheduler_counters();

@@ -85,6 +85,23 @@ void Recorder::SubscribeTo(sim::EventBus& bus) {
           ++aborted_;
         }
       });
+  bus.Subscribe<sim::RequestRejected>([this](const sim::RequestRejected& e) {
+    RequestRecord& r = record(e.rid);
+    r.rejected = true;
+    r.reject_cause = e.cause;
+    ++rejected_;
+    ++rejects_by_cause_[static_cast<std::size_t>(e.cause)];
+    // A rejection is terminal: the request will never complete, so it
+    // counts toward finished_requests() or the harness drain would spin.
+    if (!r.aborted) {
+      r.aborted = true;
+      ++aborted_;
+    }
+  });
+  bus.Subscribe<sim::PendingDepthChanged>(
+      [this](const sim::PendingDepthChanged& e) {
+        queue_depth_.Record(e.at, static_cast<double>(e.depth));
+      });
   bus.Subscribe<sim::PlacementCommitted>(
       [this](const sim::PlacementCommitted& e) {
         ++plans_committed_;
@@ -231,6 +248,54 @@ void Recorder::Close(SimTime end) {
   busy_gpcs_.Close(end);
   bound_gpcs_.Close(end);
   busy_gpus_.Close(end);
+  queue_depth_.Close(end);
+}
+
+double Recorder::MeanQueueDepth() const {
+  FFS_CHECK_MSG(closed_, "Close() the recorder first");
+  return end_ > 0 ? queue_depth_.MeanOver(0, end_) : 0.0;
+}
+
+double Recorder::JainFairnessIndex() const {
+  // Per-function SLO hit rates over the functions that saw traffic.
+  std::unordered_map<std::int32_t, std::pair<std::size_t, std::size_t>> per;
+  for (const RequestRecord& r : records_) {
+    auto& [denom, hits] = per[r.fn.value];
+    ++denom;
+    if (r.SloHit()) ++hits;
+  }
+  if (per.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [fnv, counts] : per) {
+    const double x = static_cast<double>(counts.second) /
+                     static_cast<double>(counts.first);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  const auto n = static_cast<double>(per.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+double Recorder::WorstFunctionP99(FunctionId* which) const {
+  std::unordered_map<std::int32_t, std::vector<double>> lats;
+  for (const RequestRecord& r : records_) {
+    if (r.done()) lats[r.fn.value].push_back(ToSeconds(r.Latency()));
+  }
+  double worst = 0.0;
+  std::int32_t worst_fn = -1;
+  for (auto& [fnv, v] : lats) {
+    const double p99 = Percentile(v, 0.99);
+    // Strict > with the lowest-id tie-break keeps the answer independent
+    // of unordered_map iteration order.
+    if (p99 > worst || (p99 == worst && worst_fn >= 0 && fnv < worst_fn)) {
+      worst = p99;
+      worst_fn = fnv;
+    }
+  }
+  if (which != nullptr) *which = FunctionId(worst_fn);
+  return worst;
 }
 
 double Recorder::SloHitRate(bool count_outstanding) const {

@@ -46,6 +46,8 @@ struct RequestRecord {
   int retries = 0;        // instance failures this request survived
   bool timed_out = false;  // enforcement timeout fired (either flavour)
   bool aborted = false;    // will never complete (timeout/abandonment)
+  bool rejected = false;   // refused by admission control
+  sim::RejectCause reject_cause = sim::RejectCause::kNone;
 
   bool done() const { return completion >= 0; }
   SimDuration Latency() const { return done() ? completion - arrival : -1; }
@@ -93,6 +95,24 @@ class Recorder {
   std::size_t RecoveredRequests() const;
   /// Goodput (SLO-hit, non-timed-out completions) per second of [0, window].
   double WindowedGoodput(SimTime window) const;
+
+  // --- QoS: admission & queueing (DESIGN.md §9) ----------------------------
+  std::size_t rejected_requests() const { return rejected_; }
+  std::size_t rejected_by(sim::RejectCause cause) const {
+    return rejects_by_cause_[static_cast<std::size_t>(cause)];
+  }
+  /// Central pending-queue depth over time (fed by PendingDepthChanged).
+  const TimeWeightedSignal& queue_depth() const { return queue_depth_; }
+  /// Time-averaged pending depth over [0, end]; valid after Close().
+  double MeanQueueDepth() const;
+  /// Jain fairness index over per-function SLO hit rates, functions with
+  /// >= 1 request only: (Σx)² / (n·Σx²) ∈ (0, 1], 1 = perfectly even.
+  /// 1.0 when no function saw traffic (or all hit rates are zero).
+  double JainFairnessIndex() const;
+  /// Largest per-function p99 latency (seconds) over functions with >= 1
+  /// completion — the starved-tenant tail the fair discipline targets.
+  /// 0 with no completions; `which` (optional) receives the function.
+  double WorstFunctionP99(FunctionId* which = nullptr) const;
 
   // --- placement transactions (DESIGN.md §8) -------------------------------
   std::size_t plans_committed() const { return plans_committed_; }
@@ -223,6 +243,10 @@ class Recorder {
   std::size_t plans_aborted_ = 0;
   std::size_t spawns_committed_ = 0;
   std::array<std::size_t, sim::kNumPlanAbortCauses> aborts_by_cause_{};
+
+  std::size_t rejected_ = 0;
+  std::array<std::size_t, sim::kNumRejectCauses> rejects_by_cause_{};
+  TimeWeightedSignal queue_depth_;
 
   const gpu::Cluster* cluster_ = nullptr;
   sim::EventBus* bus_ = nullptr;

@@ -19,6 +19,7 @@ constexpr int kPidInstances = 2;
 constexpr int kPidSlices = 3;
 constexpr int kPidGpus = 4;
 constexpr int kPidPlanner = 5;
+constexpr int kPidQueue = 6;
 
 std::string EscapeJson(const std::string& s) {
   std::string out;
@@ -198,6 +199,29 @@ void TraceExporter::SubscribeTo(sim::EventBus& bus) {
         open_requests_.erase(it);
         request_fn_.erase(e.rid);
       });
+
+  // QoS (DESIGN.md §9): admission rejections close the request span and
+  // drop an instant marker; pending-queue depth renders as a counter track.
+  bus.Subscribe<sim::RequestRejected>([this](const sim::RequestRejected& e) {
+    Emit(TraceEvent{std::string("reject: ") + Name(e.cause), "qos", 'i',
+                    e.at, 0, kPidQueue, 1,
+                    "{\"rid\":" + std::to_string(e.rid.value) +
+                        ",\"fn\":" + std::to_string(e.fn.value) + "}"});
+    auto it = open_requests_.find(e.rid);
+    if (it == open_requests_.end()) return;
+    Emit(TraceEvent{FunctionLabel(e.fn) + " (rejected)", "request", 'X',
+                    it->second.since, e.at - it->second.since, kPidRequests,
+                    e.fn.value,
+                    "{\"rid\":" + std::to_string(e.rid.value) +
+                        ",\"cause\":\"" + Name(e.cause) + "\"}"});
+    open_requests_.erase(it);
+    request_fn_.erase(e.rid);
+  });
+  bus.Subscribe<sim::PendingDepthChanged>(
+      [this](const sim::PendingDepthChanged& e) {
+        Emit(TraceEvent{"pending depth", "qos", 'C', e.at, 0, kPidQueue, 0,
+                        "{\"depth\":" + std::to_string(e.depth) + "}"});
+      });
 }
 
 void TraceExporter::WriteJson(std::ostream& os) const {
@@ -219,7 +243,8 @@ void TraceExporter::WriteJson(std::ostream& os) const {
                                                {kPidInstances, "instances"},
                                                {kPidSlices, "slices"},
                                                {kPidGpus, "gpus"},
-                                               {kPidPlanner, "planner"}};
+                                               {kPidPlanner, "planner"},
+                                               {kPidQueue, "queue"}};
   for (const auto& [pid, label] : procs) {
     if (!first) os << ",\n";
     first = false;

@@ -6,6 +6,7 @@
 
 #include "common/types.h"
 #include "model/costs.h"
+#include "qos/qos_config.h"
 
 namespace fluidfaas::platform {
 
@@ -84,6 +85,10 @@ struct PlatformConfig {
   /// After an instance crash, relaunch a replacement on free slices of the
   /// same node with the same stage profiles (best effort).
   bool respawn_on_failure = true;
+
+  /// QoS: central-queue discipline and admission control (DESIGN.md §9).
+  /// The "fifo"/"none" defaults reproduce pre-QoS behaviour exactly.
+  qos::QosConfig qos;
 
   model::TransferCostModel transfer;
   model::LoadCostModel load;

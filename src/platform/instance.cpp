@@ -98,18 +98,37 @@ void Instance::NoteActiveTransition(bool active_now) {
   }
 }
 
-void Instance::Enqueue(RequestId rid, double jitter) {
-  EnqueueAt(0, rid, jitter);
+void Instance::Enqueue(RequestId rid, double jitter, SimTime deadline) {
+  EnqueueAt(0, rid, jitter, deadline);
 }
 
-void Instance::EnqueueAt(std::size_t stage_idx, RequestId rid, double jitter) {
+void Instance::EnqueueAt(std::size_t stage_idx, RequestId rid, double jitter,
+                         SimTime deadline) {
   FFS_CHECK_MSG(CanAdmit(), "enqueue on non-admitting instance");
   FFS_CHECK(jitter > 0.0);
   FFS_CHECK(stage_idx < stages_.size());
   ++outstanding_;
   last_used_ = sim_.Now();
-  stages_[stage_idx].queue.push_back(PendingItem{rid, jitter, sim_.Now()});
+  PushItem(stages_[stage_idx],
+           PendingItem{rid, jitter, sim_.Now(), deadline, next_item_seq_++});
   TryStart(stage_idx);
+}
+
+void Instance::PushItem(Stage& stage, PendingItem item) {
+  if (stage_order_ == qos::StageOrder::kArrival) {
+    stage.queue.push_back(item);
+    return;
+  }
+  // kDeadline: keep the queue sorted by (deadline, seq). seq makes the
+  // order a total one — equal deadlines serve in admission order, never in
+  // an incidental one.
+  const auto pos = std::upper_bound(
+      stage.queue.begin(), stage.queue.end(), item,
+      [](const PendingItem& a, const PendingItem& b) {
+        if (a.deadline != b.deadline) return a.deadline < b.deadline;
+        return a.seq < b.seq;
+      });
+  stage.queue.insert(pos, item);
 }
 
 std::vector<Instance::FailedWork> Instance::Fail() {
@@ -336,8 +355,8 @@ void Instance::OnStageDone(std::size_t stage_idx,
           break;
         }
       }
-      stages_[next].queue.push_back(
-          PendingItem{item.rid, item.jitter, sim_.Now()});
+      PushItem(stages_[next], PendingItem{item.rid, item.jitter, sim_.Now(),
+                                          item.deadline, item.seq});
     }
     TryStart(next);
   });

@@ -16,6 +16,7 @@
 
 #include "common/types.h"
 #include "core/pipeline.h"
+#include "qos/queue_discipline.h"
 #include "sim/simulator.h"
 
 namespace fluidfaas::platform {
@@ -62,16 +63,25 @@ class Instance {
   int max_batch() const { return max_batch_; }
 
   /// Admit a request. `jitter` scales this request's service times
-  /// (sampled by the platform; 1.0 = nominal). Only valid in kLoading /
-  /// kReady states.
-  void Enqueue(RequestId rid, double jitter);
+  /// (sampled by the platform; 1.0 = nominal). `deadline` is its absolute
+  /// SLO deadline, consulted only under StageOrder::kDeadline (0 is fine
+  /// otherwise). Only valid in kLoading / kReady states.
+  void Enqueue(RequestId rid, double jitter, SimTime deadline = 0);
 
   /// Admit a request directly into stage `stage_idx`'s queue — the
   /// recovery path for a request whose earlier stages already completed on
   /// an instance that then failed: the survivor re-runs only the failed
   /// stage onward instead of replaying the whole pipeline. Requires an
   /// identically-shaped plan (same stage count); the caller checks.
-  void EnqueueAt(std::size_t stage_idx, RequestId rid, double jitter);
+  void EnqueueAt(std::size_t stage_idx, RequestId rid, double jitter,
+                 SimTime deadline = 0);
+
+  /// Stage-queue ordering. kArrival (default) appends — the legacy FIFO —
+  /// while kDeadline keeps every stage queue sorted by (deadline, arrival
+  /// seq), so an EDF platform discipline carries through the pipeline.
+  /// Set once at launch, before any Enqueue.
+  void SetStageOrder(qos::StageOrder order) { stage_order_ = order; }
+  qos::StageOrder stage_order() const { return stage_order_; }
 
   /// Stop admitting; the owner retires the instance once Idle().
   void BeginDrain();
@@ -138,7 +148,9 @@ class Instance {
   struct PendingItem {
     RequestId rid;
     double jitter;
-    SimTime enqueued;  // when it entered this stage's queue
+    SimTime enqueued;       // when it entered this stage's queue
+    SimTime deadline = 0;   // absolute SLO deadline (kDeadline ordering)
+    std::uint64_t seq = 0;  // admission order; the deterministic tie-break
   };
   struct Stage {
     core::StageBinding binding;
@@ -151,6 +163,10 @@ class Instance {
     PendingItem item;
     std::size_t next_stage;
   };
+
+  /// Insert into a stage queue per stage_order_: append for kArrival,
+  /// sorted by (deadline, seq) for kDeadline.
+  void PushItem(Stage& stage, PendingItem item);
 
   /// Schedule a service pass. With batching enabled the pass starts one
   /// event-queue turn later so same-instant arrivals coalesce into one
@@ -176,6 +192,8 @@ class Instance {
   int busy_stages_ = 0;
   int max_batch_ = 1;
   double batch_marginal_ = 0.35;
+  qos::StageOrder stage_order_ = qos::StageOrder::kArrival;
+  std::uint64_t next_item_seq_ = 0;
 
   // Active-time integrator for utilization windows.
   SimDuration active_total_ = 0;

@@ -33,6 +33,15 @@ PlatformCore::PlatformCore(sim::Simulator& sim, gpu::Cluster& cluster,
   FFS_CHECK_MSG(routing_ != nullptr, "bundle needs a RoutingPolicy");
   FFS_CHECK_MSG(scaling_ != nullptr, "bundle needs a ScalingPolicy");
   if (!keepalive_) keepalive_ = std::make_unique<NullKeepAlive>();
+  {
+    qos::QueuePolicy qp = bundle.queue ? bundle.queue(config_.qos)
+                                       : qos::MakeQueuePolicy(config_.qos);
+    FFS_CHECK_MSG(qp.discipline != nullptr && qp.admission != nullptr,
+                  "queue policy must supply a discipline and an admission "
+                  "controller");
+    pending_q_ = std::move(qp.discipline);
+    admission_ = std::move(qp.admission);
+  }
   if (!retry_) {
     retry_ = std::make_unique<BoundedRetryPolicy>(
         config_.retry.max_retries, config_.retry.base_backoff,
@@ -133,6 +142,14 @@ RequestId PlatformCore::Submit(FunctionId fn) {
   bus().Publish(sim::RequestSubmitted{rid, fn, now, deadline});
   meta_.emplace(rid, ReqMeta{fn, deadline, SampleJitter()});
   arrivals_[fn].count_this_tick += 1;
+  // Admission gate (rate limit / depth cap). NullAdmission — the default —
+  // always admits, leaving the fault-free event stream untouched.
+  const sim::RejectCause gate =
+      admission_->AdmitAtSubmit(MakeQueueItem(rid, fn), now, *pending_q_);
+  if (gate != sim::RejectCause::kNone) {
+    RejectRequest(rid, fn, gate, /*at_submit=*/true);
+    return rid;
+  }
   if (config_.request_timeout_scale > 0.0) {
     const SimTime expire =
         now + static_cast<SimDuration>(
@@ -187,7 +204,52 @@ std::vector<Instance*> PlatformCore::AllInstances() const {
   return out;
 }
 
-std::size_t PlatformCore::PendingCount() const { return pending_.size(); }
+std::size_t PlatformCore::PendingCount() const { return pending_q_->size(); }
+
+std::size_t PlatformCore::PendingCountOf(FunctionId fn) const {
+  return pending_q_->DepthOf(fn);
+}
+
+PlatformCore::Backpressure PlatformCore::CurrentBackpressure() const {
+  Backpressure bp;
+  bp.pending = pending_q_->size();
+  bp.rejected = rejected_total_;
+  bp.shedding = rejected_total_ > 0;
+  return bp;
+}
+
+qos::QueueItem PlatformCore::MakeQueueItem(RequestId rid,
+                                           FunctionId fn) const {
+  const FunctionSpec& spec = function(fn);
+  // Adjusted deadline: deadline − estimated execution − load time (§5.3).
+  const SimDuration est_exec = spec.base_latency;
+  const SimDuration est_load =
+      IsWarm(fn) ? config_.load.WarmLoad(spec.dag.TotalMemory() / 2) : 0;
+  qos::QueueItem item;
+  item.rid = rid;
+  item.fn = fn;
+  item.deadline = DeadlineOf(rid);
+  item.priority = item.deadline - est_exec - est_load;
+  item.service_estimate = est_exec + est_load;
+  return item;
+}
+
+void PlatformCore::PublishPendingDepth() {
+  const std::size_t depth = pending_q_->size();
+  if (depth == last_depth_published_) return;
+  last_depth_published_ = depth;
+  bus().Publish(sim::PendingDepthChanged{depth, sim_.Now()});
+}
+
+void PlatformCore::RejectRequest(RequestId rid, FunctionId fn,
+                                 sim::RejectCause cause, bool at_submit) {
+  ++rejected_total_;
+  bus().Publish(sim::RequestRejected{rid, fn, cause, at_submit, sim_.Now()});
+  FFS_LOG_DEBUG("platform") << name() << " reject request " << rid.value
+                            << " fn " << fn.value << " ("
+                            << sim::Name(cause) << ")";
+  meta_.erase(rid);
+}
 
 sim::PlanAbortCause PlatformCore::ValidatePlan(const PlacementPlan& plan) {
   // Walk the actions in order, simulating slice availability: an eviction
@@ -324,6 +386,7 @@ Instance* PlatformCore::LaunchInstance(const FunctionSpec& fn,
   instances_.push_back(std::move(inst));
   by_function_[fn.id].push_back(raw);
   raw->SetBatching(config_.max_batch, config_.batch_marginal_cost);
+  raw->SetStageOrder(pending_q_->stage_order());
   raw->Launch(load);
   if (!warm && pending_cold_failures_ > 0 && load > 0) {
     // An armed cold-start failure dooms this launch: the instance crashes
@@ -403,27 +466,27 @@ double PlatformCore::UtilizationOf(const Instance* inst) const {
 }
 
 void PlatformCore::MakePending(RequestId rid, FunctionId fn) {
-  const FunctionSpec& spec = function(fn);
-  // Adjusted deadline: deadline − estimated execution − load time (§5.3).
-  const SimDuration est_exec = spec.base_latency;
-  const SimDuration est_load =
-      IsWarm(fn) ? config_.load.WarmLoad(spec.dag.TotalMemory() / 2) : 0;
-  pending_.emplace(DeadlineOf(rid) - est_exec - est_load,
-                   std::make_pair(rid, fn));
+  pending_q_->Enqueue(MakeQueueItem(rid, fn));
+  PublishPendingDepth();
 }
 
 void PlatformCore::DispatchPending() {
-  // Requests are tried in ascending adjusted-deadline order; the ones that
-  // still cannot be placed stay pending.
-  auto it = pending_.begin();
-  while (it != pending_.end()) {
-    const auto [rid, fn] = it->second;
-    if (routing_->Route(*this, rid, fn)) {
-      it = pending_.erase(it);
-    } else {
-      ++it;
+  // Requests are offered in discipline order (the default FifoQueue:
+  // ascending adjusted deadline); the ones that still cannot be placed
+  // stay pending. The admission controller re-judges each request first —
+  // work that can no longer meet its deadline is shed instead of routed.
+  pending_q_->Drain([this](const qos::QueueItem& item) {
+    const sim::RejectCause shed =
+        admission_->ReviewAtDispatch(item, sim_.Now());
+    if (shed != sim::RejectCause::kNone) {
+      RejectRequest(item.rid, item.fn, shed, /*at_submit=*/false);
+      return qos::DrainVerdict::kDrop;
     }
-  }
+    return routing_->Route(*this, item.rid, item.fn)
+               ? qos::DrainVerdict::kDispatch
+               : qos::DrainVerdict::kKeep;
+  });
+  PublishPendingDepth();
 }
 
 void PlatformCore::HandleCompletion(RequestId rid) {
@@ -535,7 +598,7 @@ void PlatformCore::Resubmit(RequestId rid, FunctionId fn, int stage,
       if (!inst->CanAdmit()) continue;
       if (inst->plan().num_stages() != num_stages) continue;
       inst->EnqueueAt(static_cast<std::size_t>(stage), rid,
-                      it->second.jitter);
+                      it->second.jitter, it->second.deadline);
       resumed = true;
       break;
     }
@@ -575,13 +638,11 @@ void PlatformCore::ExpireRequest(RequestId rid) {
   const FunctionId fn = it->second.fn;
   const SimTime now = sim_.Now();
   // Still in the pending set: cancel outright.
-  for (auto p = pending_.begin(); p != pending_.end(); ++p) {
-    if (p->second.first == rid) {
-      pending_.erase(p);
-      bus().Publish(sim::RequestTimedOut{rid, fn, false, now});
-      meta_.erase(it);
-      return;
-    }
+  if (pending_q_->Remove(rid)) {
+    bus().Publish(sim::RequestTimedOut{rid, fn, false, now});
+    meta_.erase(it);
+    PublishPendingDepth();
+    return;
   }
   // Queued on an instance but not yet executing: abort it there.
   for (Instance* inst : InstancesOf(fn)) {

@@ -2,8 +2,10 @@
 //
 // The core owns everything schedulers share — function registry, request
 // intake, instance lifecycle (slice binding through the Cluster so strong
-// isolation is enforced), warm-weights tracking, the EDF-ordered pending
-// set, and per-function arrival / per-instance utilization statistics —
+// isolation is enforced), warm-weights tracking, the pending set (ordered
+// by the pluggable qos::QueueDiscipline, gated by the installed
+// qos::AdmissionController), and per-function arrival / per-instance
+// utilization statistics —
 // and publishes every observable state change on the simulator's EventBus
 // (sim/events.h). It makes no scheduling decisions itself.
 //
@@ -29,6 +31,8 @@
 #include "platform/instance.h"
 #include "platform/placement.h"
 #include "platform/policy.h"
+#include "qos/admission.h"
+#include "qos/queue_discipline.h"
 #include "sim/events.h"
 #include "sim/simulator.h"
 
@@ -77,6 +81,24 @@ class PlatformCore {
   /// Number of requests neither completed nor admitted to an instance.
   std::size_t PendingCount() const;
 
+  /// Pending requests of one function — the per-function backpressure
+  /// signal (scaling policies can weigh it against deployed capacity).
+  std::size_t PendingCountOf(FunctionId fn) const;
+
+  /// Aggregate backpressure: pending depth plus the running count of
+  /// admission rejections. A scaling policy seeing `shedding` true knows
+  /// the intake is already refusing work and capacity, not patience, is
+  /// what is missing.
+  struct Backpressure {
+    std::size_t pending = 0;
+    std::size_t rejected = 0;
+    bool shedding = false;
+  };
+  Backpressure CurrentBackpressure() const;
+
+  /// The installed queue discipline (never null after construction).
+  const qos::QueueDiscipline& queue() const { return *pending_q_; }
+
   // -- mechanism operations, called by policies -----------------------------
 
   /// Validate `plan` against live cluster/instance state and apply it
@@ -121,13 +143,15 @@ class PlatformCore {
   /// a single sparse request does not flip an instance exclusive-hot.
   double UtilizationOf(const Instance* inst) const;
 
-  /// Add to the pending set ordered by adjusted deadline
-  /// (deadline − estimated execution − load), per §5.3's request routing.
+  /// Add to the pending set. The installed queue discipline orders it; the
+  /// default FifoQueue uses the §5.3 adjusted deadline
+  /// (deadline − estimated execution − load), exactly the legacy order.
   void MakePending(RequestId rid, FunctionId fn);
 
-  /// Re-dispatch pending requests in priority order. Called on completions
-  /// and each tick; policies that free capacity out of band (e.g. after a
-  /// repartition blackout) call it directly.
+  /// Re-offer pending requests in discipline order (admission may shed
+  /// deadline-infeasible ones first). Called on completions and each tick;
+  /// policies that free capacity out of band (e.g. after a repartition
+  /// blackout) call it directly.
   void DispatchPending();
 
   /// Jitter factor assigned to an outstanding request at Submit().
@@ -180,6 +204,20 @@ class PlatformCore {
   /// Per-request service-time jitter factor.
   double SampleJitter();
 
+  /// Assemble the discipline's view of a request: absolute deadline, the
+  /// §5.3 adjusted-deadline priority, and the execution + load estimate
+  /// the adjustment subtracted (fair queueing's virtual-time cost).
+  qos::QueueItem MakeQueueItem(RequestId rid, FunctionId fn) const;
+
+  /// Publish sim::PendingDepthChanged when the pending depth moved since
+  /// the last publication.
+  void PublishPendingDepth();
+
+  /// Reject `rid` with a typed cause: publish sim::RequestRejected and
+  /// forget the request (terminal — it will never complete).
+  void RejectRequest(RequestId rid, FunctionId fn, sim::RejectCause cause,
+                     bool at_submit);
+
   /// Instance by id, or null for retired/failed/sentinel ids.
   Instance* FindInstance(InstanceId iid);
 
@@ -211,6 +249,8 @@ class PlatformCore {
   std::unique_ptr<KeepAlivePolicy> keepalive_;
   std::unique_ptr<RetryPolicy> retry_;
   std::function<SchedulerCounters()> counters_;
+  std::unique_ptr<qos::QueueDiscipline> pending_q_;
+  std::unique_ptr<qos::AdmissionController> admission_;
 
   // Fault-command subscriptions (auto-unsubscribed at destruction).
   std::vector<sim::EventBus::Subscription> fault_subs_;
@@ -240,8 +280,10 @@ class PlatformCore {
   std::unordered_map<InstanceId, double> util_ewma_;
   SimTime last_tick_ = 0;
 
-  // Pending requests ordered by adjusted deadline.
-  std::multimap<SimTime, std::pair<RequestId, FunctionId>> pending_;
+  // Last published pending depth (dedup for PendingDepthChanged).
+  std::size_t last_depth_published_ = 0;
+  // Running admission-rejection count (backpressure signal).
+  std::size_t rejected_total_ = 0;
 
   // Outstanding (submitted, not yet completed) requests.
   std::unordered_map<RequestId, ReqMeta> meta_;

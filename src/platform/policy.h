@@ -28,6 +28,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "qos/admission.h"
 
 namespace fluidfaas::platform {
 
@@ -153,6 +154,10 @@ struct PolicyBundle {
   std::unique_ptr<KeepAlivePolicy> keepalive;
   std::unique_ptr<RetryPolicy> retry;
   std::function<SchedulerCounters()> counters;
+  /// Optional QueuePolicy override. When null (every builtin scheduler) the
+  /// core builds the pair qos::MakeQueuePolicy names from PlatformConfig::qos
+  /// — i.e. what --queue / --admission selected.
+  std::function<qos::QueuePolicy(const qos::QosConfig&)> queue;
 };
 
 }  // namespace fluidfaas::platform

@@ -1,0 +1,50 @@
+// Tunables of the QoS subsystem (queueing discipline + admission control).
+//
+// Lives in the qos layer (not platform/config.h) so the disciplines and
+// admission controllers can be built and tested below the platform; the
+// platform embeds a QosConfig in its PlatformConfig and the CLI maps
+// --queue / --admission onto the two name fields. The defaults — "fifo"
+// discipline, "none" admission — reproduce the pre-QoS platform behaviour
+// exactly (test-pinned byte identity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace fluidfaas::qos {
+
+struct QosConfig {
+  /// Queue discipline for the platform's central pending set:
+  /// "fifo" (adjusted-deadline priority, the extracted legacy behaviour),
+  /// "fair" (per-function start-time fair queueing with MQFQ-style
+  /// stickiness), or "edf" (earliest absolute SLO deadline first).
+  std::string queue = "fifo";
+
+  /// Admission controller: "none" (admit everything) or "shed"
+  /// (token-bucket rate limit + depth cap + deadline-infeasible shedding).
+  std::string admission = "none";
+
+  /// Fair queueing: consecutive dequeues granted to one function's backlog
+  /// before the scheduler re-picks the minimum finish tag (MQFQ-Sticky);
+  /// keeps a function's burst together so it lands on its warm instance.
+  int sticky_batch = 4;
+
+  /// Token bucket: sustained admits per second. 0 disables rate limiting.
+  double rate_rps = 0.0;
+
+  /// Token bucket burst size (full bucket). Only meaningful with
+  /// rate_rps > 0; clamped to >= 1.
+  double burst = 32.0;
+
+  /// Reject new submissions once the central pending queue holds this many
+  /// requests. 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+
+  /// Shed a pending request at dispatch time once even an immediate,
+  /// unqueued execution could no longer meet its deadline.
+  bool shed_infeasible = true;
+};
+
+}  // namespace fluidfaas::qos

@@ -1,0 +1,184 @@
+// Pluggable queueing disciplines for the platform's central pending set.
+//
+// The platform used to keep pending requests in one hard-coded
+// std::multimap ordered by adjusted deadline. That policy is now the
+// FifoQueue below, and two alternatives ride the same seam:
+//
+//   FifoQueue — the extracted legacy order: ascending caller-supplied
+//               priority (the §5.3 adjusted deadline), insertion order on
+//               ties. Byte-identical to the old multimap.
+//   FairQueue — per-function start-time fair queueing (SFQ): every item
+//               gets virtual start/finish tags; dequeue picks the minimum
+//               finish tag, so a bursty function cannot starve its
+//               co-residents. MQFQ-style stickiness dequeues up to
+//               sticky_batch consecutive items from the chosen function so
+//               its backlog stays together (and lands on its warm
+//               instance) before the scheduler re-picks.
+//   EdfQueue  — earliest absolute SLO deadline first.
+//
+// Every discipline is strictly deterministic: ties break by the arrival
+// sequence number stamped at Enqueue, never by pointer or hash order
+// (test-pinned across parallel sweep job counts).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "qos/qos_config.h"
+
+namespace fluidfaas::qos {
+
+/// One pending request as the discipline sees it. `priority` is the
+/// caller-computed adjusted deadline (deadline − estimated execution −
+/// load, §5.3); `service_estimate` is that same estimated execution + load
+/// time, which fair queueing uses as the virtual-time cost of the item.
+struct QueueItem {
+  RequestId rid;
+  FunctionId fn;
+  std::uint64_t seq = 0;  // arrival order, stamped by the discipline
+  SimTime deadline = 0;
+  SimTime priority = 0;
+  SimDuration service_estimate = 0;
+};
+
+/// What the drain callback did with an offered item.
+enum class DrainVerdict {
+  kKeep,      // could not place it now; stays queued
+  kDispatch,  // admitted to an instance; leaves the queue
+  kDrop,      // shed by admission review; leaves the queue, and fair
+              // queueing does not advance virtual time for it
+};
+
+/// How per-instance stage queues order their work under this discipline.
+enum class StageOrder {
+  kArrival,   // plain FIFO (fifo/fair)
+  kDeadline,  // sorted by (deadline, seq) — edf
+};
+
+class QueueDiscipline {
+ public:
+  using DrainFn = std::function<DrainVerdict(const QueueItem&)>;
+
+  virtual ~QueueDiscipline() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Add an item. The discipline stamps item.seq from its own counter, so
+  /// callers need not (and must not) manage sequence numbers.
+  virtual void Enqueue(QueueItem item) = 0;
+
+  /// Remove a queued request (timeout expiry mid-queue). False when the
+  /// request is not queued here.
+  virtual bool Remove(RequestId rid) = 0;
+
+  /// Offer queued items to `fn` in discipline order. Items answered
+  /// kDispatch or kDrop leave the queue; kKeep items stay (and, for fair
+  /// queueing, block the rest of their function's backlog for this pass —
+  /// per-function order is always preserved).
+  virtual void Drain(const DrainFn& fn) = 0;
+
+  virtual std::size_t size() const = 0;
+
+  /// Queued items of one function (backpressure signal).
+  virtual std::size_t DepthOf(FunctionId fn) const = 0;
+
+  /// The full queue in dequeue order (tests and diagnostics only).
+  virtual std::vector<QueueItem> Snapshot() const = 0;
+
+  /// Stage-queue ordering that matches this discipline.
+  virtual StageOrder stage_order() const { return StageOrder::kArrival; }
+
+ protected:
+  std::uint64_t NextSeq() { return next_seq_++; }
+
+ private:
+  std::uint64_t next_seq_ = 0;
+};
+
+/// The extracted legacy discipline: ascending (priority, seq). With
+/// priority = adjusted deadline this reproduces the pre-QoS multimap —
+/// including insertion-order ties — event for event.
+class FifoQueue final : public QueueDiscipline {
+ public:
+  const char* name() const override { return "fifo"; }
+  void Enqueue(QueueItem item) override;
+  bool Remove(RequestId rid) override;
+  void Drain(const DrainFn& fn) override;
+  std::size_t size() const override { return items_.size(); }
+  std::size_t DepthOf(FunctionId fn) const override;
+  std::vector<QueueItem> Snapshot() const override;
+
+ private:
+  std::map<std::pair<SimTime, std::uint64_t>, QueueItem> items_;
+};
+
+/// Earliest-deadline-first on the absolute SLO deadline; ties by seq.
+/// Per-instance stage queues sort the same way (StageOrder::kDeadline).
+class EdfQueue final : public QueueDiscipline {
+ public:
+  const char* name() const override { return "edf"; }
+  void Enqueue(QueueItem item) override;
+  bool Remove(RequestId rid) override;
+  void Drain(const DrainFn& fn) override;
+  std::size_t size() const override { return items_.size(); }
+  std::size_t DepthOf(FunctionId fn) const override;
+  std::vector<QueueItem> Snapshot() const override;
+  StageOrder stage_order() const override { return StageOrder::kDeadline; }
+
+ private:
+  std::map<std::pair<SimTime, std::uint64_t>, QueueItem> items_;
+};
+
+/// Start-time fair queueing over per-function flows with MQFQ-style
+/// stickiness. Integer virtual time in µs; item tags are
+///   S = max(V, finish tag of the flow's previous item)
+///   F = S + max(1, service_estimate)
+/// and dispatch advances V to the dispatched item's start tag. Flow
+/// selection is min head-item F, ties by FunctionId value then seq —
+/// deterministic by construction.
+class FairQueue final : public QueueDiscipline {
+ public:
+  explicit FairQueue(int sticky_batch)
+      : sticky_batch_(sticky_batch < 1 ? 1 : sticky_batch) {}
+
+  const char* name() const override { return "fair"; }
+  void Enqueue(QueueItem item) override;
+  bool Remove(RequestId rid) override;
+  void Drain(const DrainFn& fn) override;
+  std::size_t size() const override { return size_; }
+  std::size_t DepthOf(FunctionId fn) const override;
+  std::vector<QueueItem> Snapshot() const override;
+
+ private:
+  struct Tagged {
+    QueueItem item;
+    std::uint64_t start = 0;
+    std::uint64_t finish = 0;
+  };
+  struct Flow {
+    std::deque<Tagged> backlog;
+    std::uint64_t last_finish = 0;
+  };
+
+  /// Flow with the minimum head finish tag, skipping `blocked`; flows_.end()
+  /// when everything is blocked or empty.
+  std::map<std::int32_t, Flow>::iterator PickFlow(
+      const std::vector<std::int32_t>& blocked);
+
+  std::map<std::int32_t, Flow> flows_;  // key: FunctionId value (ordered)
+  std::uint64_t vtime_ = 0;
+  std::size_t size_ = 0;
+  int sticky_batch_;
+};
+
+/// Build the discipline `config.queue` names; throws FfsError on unknown
+/// names (listing the registered ones).
+std::unique_ptr<QueueDiscipline> MakeQueueDiscipline(const QosConfig& config);
+
+}  // namespace fluidfaas::qos

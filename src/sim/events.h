@@ -262,6 +262,54 @@ struct RequestAbandoned {
   SimTime at = 0;
 };
 
+// --- QoS: admission control & queueing (DESIGN.md §9) ----------------------
+
+/// Why the admission controller refused a request. kNone means admitted;
+/// the other causes are terminal — a rejected request never completes.
+enum class RejectCause {
+  kNone,                // admitted
+  kQueueFull,           // pending-queue depth cap exceeded
+  kRateLimited,         // token bucket empty at submission
+  kDeadlineInfeasible,  // could not meet its SLO even if dispatched now
+};
+
+constexpr const char* Name(RejectCause c) {
+  switch (c) {
+    case RejectCause::kNone:
+      return "none";
+    case RejectCause::kQueueFull:
+      return "queue-full";
+    case RejectCause::kRateLimited:
+      return "rate-limited";
+    case RejectCause::kDeadlineInfeasible:
+      return "deadline-infeasible";
+  }
+  return "?";
+}
+
+/// Number of RejectCause values (for per-cause counter arrays).
+inline constexpr int kNumRejectCauses =
+    static_cast<int>(RejectCause::kDeadlineInfeasible) + 1;
+
+/// The admission controller refused a request. `at_submit` distinguishes
+/// submission-time rejection (rate limit, full queue) from dispatch-time
+/// shedding of work that already blew its deadline budget.
+struct RequestRejected {
+  RequestId rid;
+  FunctionId fn;
+  RejectCause cause = RejectCause::kNone;
+  bool at_submit = true;
+  SimTime at = 0;
+};
+
+/// The platform's central pending-queue depth changed — the backpressure
+/// signal autoscalers and observers consume. Published after every batch of
+/// enqueues/dispatches, not per item.
+struct PendingDepthChanged {
+  std::size_t depth = 0;
+  SimTime at = 0;
+};
+
 // --- placement transactions (DESIGN.md §8) ---------------------------------
 
 /// Why a placement plan failed validation at commit time. The taxonomy is

@@ -9,25 +9,37 @@
 namespace fluidfaas::trace {
 
 std::vector<AzureDatasetRow> LoadAzureDataset(std::istream& in) {
+  // Every parse failure raises ErrorCode::kMalformedTrace with the 1-based
+  // line number, so callers (the CLI, tests) can dispatch on the code
+  // instead of matching message strings.
   std::vector<AzureDatasetRow> rows;
   std::string line;
   bool header_seen = false;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     if (line.empty()) continue;
     if (!header_seen) {
       header_seen = true;
-      FFS_CHECK_MSG(line.rfind("HashOwner", 0) == 0,
-                    "not an Azure dataset file (missing HashOwner header)");
+      if (line.rfind("HashOwner", 0) != 0) {
+        RaiseError(ErrorCode::kMalformedTrace,
+                   "not an Azure dataset file (missing HashOwner header)");
+      }
       continue;
     }
     std::stringstream ss(line);
     AzureDatasetRow row;
     std::string tok;
-    FFS_CHECK_MSG(std::getline(ss, row.owner_hash, ',') &&
-                      std::getline(ss, row.app_hash, ',') &&
-                      std::getline(ss, row.function_hash, ',') &&
-                      std::getline(ss, row.trigger, ','),
-                  "malformed Azure dataset row: " + line);
+    if (!(std::getline(ss, row.owner_hash, ',') &&
+          std::getline(ss, row.app_hash, ',') &&
+          std::getline(ss, row.function_hash, ',') &&
+          std::getline(ss, row.trigger, ','))) {
+      RaiseError(ErrorCode::kMalformedTrace,
+                 "truncated Azure dataset row (need owner,app,function,"
+                 "trigger) at line " +
+                     std::to_string(lineno) + ": " + line);
+    }
     while (std::getline(ss, tok, ',')) {
       if (tok.empty()) {
         row.per_minute.push_back(0);
@@ -38,16 +50,27 @@ std::vector<AzureDatasetRow> LoadAzureDataset(std::istream& in) {
       try {
         count = std::stoi(tok, &pos);
       } catch (const std::exception&) {
-        throw FfsError("bad invocation count '" + tok + "'");
+        pos = 0;
       }
-      FFS_CHECK_MSG(pos == tok.size() && count >= 0,
-                    "bad invocation count '" + tok + "'");
+      if (pos != tok.size() || count < 0) {
+        RaiseError(ErrorCode::kMalformedTrace,
+                   "bad invocation count '" + tok + "' at line " +
+                       std::to_string(lineno));
+      }
       row.per_minute.push_back(count);
       row.total += static_cast<std::uint64_t>(count);
     }
-    FFS_CHECK_MSG(row.per_minute.size() <= 1440,
-                  "more than 1440 minute buckets");
+    if (row.per_minute.size() > 1440) {
+      RaiseError(ErrorCode::kMalformedTrace,
+                 "more than 1440 minute buckets (" +
+                     std::to_string(row.per_minute.size()) + ") at line " +
+                     std::to_string(lineno));
+    }
     rows.push_back(std::move(row));
+  }
+  if (!header_seen) {
+    RaiseError(ErrorCode::kMalformedTrace,
+               "empty Azure dataset (no header line)");
   }
   return rows;
 }

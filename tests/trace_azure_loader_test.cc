@@ -49,6 +49,68 @@ TEST(AzureLoaderTest, EmptyBucketsAreZero) {
   EXPECT_EQ(rows[0].total, 12u);
 }
 
+// Regression: every malformed-input failure carries the typed
+// ErrorCode::kMalformedTrace so callers can dispatch on code() instead of
+// parsing message strings.
+template <typename Fn>
+ErrorCode CodeOf(Fn&& fn) {
+  try {
+    fn();
+  } catch (const FfsError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected FfsError";
+  return ErrorCode::kGeneric;
+}
+
+TEST(AzureLoaderTest, TypedErrorOnWrongHeader) {
+  std::stringstream in("time_us,function_id\n1,2\n");
+  EXPECT_EQ(CodeOf([&] { LoadAzureDataset(in); }),
+            ErrorCode::kMalformedTrace);
+}
+
+TEST(AzureLoaderTest, TypedErrorOnTruncatedRow) {
+  // Only two of the four required metadata fields.
+  std::stringstream in("HashOwner,HashApp,HashFunction,Trigger,1\no,a\n");
+  EXPECT_EQ(CodeOf([&] { LoadAzureDataset(in); }),
+            ErrorCode::kMalformedTrace);
+}
+
+TEST(AzureLoaderTest, TypedErrorOnNonNumericAndNegativeCounts) {
+  std::stringstream bad(
+      "HashOwner,HashApp,HashFunction,Trigger,1,2\no,a,f,http,3,oops\n");
+  EXPECT_EQ(CodeOf([&] { LoadAzureDataset(bad); }),
+            ErrorCode::kMalformedTrace);
+  std::stringstream neg(
+      "HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,-4\n");
+  EXPECT_EQ(CodeOf([&] { LoadAzureDataset(neg); }),
+            ErrorCode::kMalformedTrace);
+}
+
+TEST(AzureLoaderTest, TypedErrorOnTooManyBuckets) {
+  std::string row = "o,a,f,http";
+  for (int i = 0; i < 1441; ++i) row += ",1";
+  std::stringstream in("HashOwner,HashApp,HashFunction,Trigger\n" + row +
+                       "\n");
+  EXPECT_EQ(CodeOf([&] { LoadAzureDataset(in); }),
+            ErrorCode::kMalformedTrace);
+}
+
+TEST(AzureLoaderTest, TypedErrorOnEmptyInput) {
+  std::stringstream in("");
+  EXPECT_EQ(CodeOf([&] { LoadAzureDataset(in); }),
+            ErrorCode::kMalformedTrace);
+}
+
+TEST(AzureLoaderTest, ToleratesCrlfLineEndings) {
+  std::stringstream in(
+      "HashOwner,HashApp,HashFunction,Trigger,1,2\r\no,a,f,http,3,4\r\n");
+  auto rows = LoadAzureDataset(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].per_minute, (std::vector<int>{3, 4}));
+  EXPECT_EQ(rows[0].trigger, "http");
+}
+
 TEST(AzureExpandTest, VolumeMatchesBucketsAndRankingOrdersIds) {
   std::stringstream in(SampleCsv());
   auto rows = LoadAzureDataset(in);

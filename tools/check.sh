@@ -12,12 +12,26 @@
 #   tools/check.sh asan     # sanitized build only
 #   tools/check.sh faults   # sanitized fault-sweep smoke only
 #   tools/check.sh tsan     # ThreadSanitizer parallel-sweep smoke only
-#   tools/check.sh tidy     # clang-tidy over src/ (skips if not installed)
+#   tools/check.sh tidy     # clang-tidy over src/ (fails if not installed)
+#
+# Parallelism: -j N after the mode, else FFS_JOBS, else nproc.
+#
+#   tools/check.sh plain -j 4
+#   FFS_JOBS=8 tools/check.sh tidy
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-jobs=$(nproc 2>/dev/null || echo 4)
 mode="${1:-all}"
+jobs="${FFS_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+if [[ "${2:-}" == "-j" ]]; then
+  jobs="${3:?-j needs a job count}"
+fi
+case "${jobs}" in
+  ''|*[!0-9]*|0)
+    echo "error: job count must be a positive integer, got '${jobs}'" >&2
+    exit 2
+    ;;
+esac
 
 run_pass() {
   local dir="$1"; shift
@@ -53,15 +67,22 @@ run_tsan() {
 }
 
 # Static analysis with the checked-in .clang-tidy (bugprone-*, performance-*,
-# readability-container-size-empty). Soft-gated: environments without
-# clang-tidy skip this pass instead of failing, so `check.sh all` stays
-# runnable on the minimal toolchain image.
+# readability-container-size-empty). An explicit `check.sh tidy` fails
+# loudly when clang-tidy is missing — a green "pass" that never ran is worse
+# than an error. Only the aggregate `all` mode soft-skips (with a warning),
+# so the minimal toolchain image can still run every other pass.
 run_tidy() {
+  local soft="${1:-hard}"
   if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "=== tidy: clang-tidy not installed, skipping ==="
-    return 0
+    if [[ "${soft}" == "soft" ]]; then
+      echo "=== tidy: WARNING — clang-tidy not installed, pass SKIPPED ===" >&2
+      return 0
+    fi
+    echo "error: clang-tidy is not installed; refusing to pretend the tidy" \
+         "pass ran (use 'check.sh all' to soft-skip it)" >&2
+    return 1
   fi
-  echo "=== tidy: clang-tidy over src/ ==="
+  echo "=== tidy: clang-tidy over src/ (jobs=${jobs}) ==="
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   local files
   files=$(find src -name '*.cpp' | sort)
@@ -69,8 +90,10 @@ run_tidy() {
     # shellcheck disable=SC2086  # intentional word-splitting of the file list
     run-clang-tidy -p build -quiet -j "${jobs}" ${files}
   else
+    # No run-clang-tidy wrapper: shard the file list across ${jobs} parallel
+    # clang-tidy processes ourselves so -j/FFS_JOBS is honored either way.
     # shellcheck disable=SC2086
-    clang-tidy -p build --quiet ${files}
+    printf '%s\n' ${files} | xargs -P "${jobs}" -n 8 clang-tidy -p build --quiet
   fi
 }
 
@@ -85,10 +108,10 @@ case "${mode}" in
     run_pass build-asan -DFFS_SANITIZE=ON
     run_faults
     run_tsan
-    run_tidy
+    run_tidy soft
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|all|faults|tsan|tidy]" >&2
+    echo "usage: tools/check.sh [plain|asan|all|faults|tsan|tidy] [-j N]" >&2
     exit 2
     ;;
 esac

@@ -5,11 +5,14 @@
 //                    [--duration SECONDS] [--load FRACTION] [--seed N]
 //                    [--partition SPEC] [--csv FILE] [--trace-out FILE]
 //                    [--fault-rate R] [--fault-seed N] [--mttr SECONDS]
-//                    [--timeout-scale S] [--jobs N]
+//                    [--timeout-scale S] [--queue fifo|fair|edf]
+//                    [--admission none|shed] [--rate RPS] [--queue-cap N]
+//                    [--jobs N]
 //   fluidfaas sweep [--systems a,b,...|all] [--tiers light,medium,...]
 //                    [--seeds 1,2,...] [--loads 0.2,0.5,...]
 //                    [--fault-rates 0,0.01,...] [--nodes N] [--gpus N]
-//                    [--duration SECONDS] [--jobs N] [--out FILE]
+//                    [--duration SECONDS] [--queue fifo|fair|edf]
+//                    [--admission none|shed] [--jobs N] [--out FILE]
 //                    [--no-timing 1]
 //   fluidfaas trace [--functions N] [--rps R] [--duration SECONDS]
 //                    [--seed N] [--out FILE]
@@ -128,6 +131,14 @@ int CmdRun(const CliArgs& args) {
   cfg.faults.mttr = Seconds(args.GetDouble("mttr", 30.0));
   cfg.faults.timeout_scale = args.GetDouble("timeout-scale", 0.0);
 
+  // QoS queue policy (DESIGN.md §9). The defaults (fifo/none) reproduce the
+  // legacy pending queue exactly, so plain runs stay byte-identical.
+  cfg.platform.qos.queue = args.GetString("queue", "fifo");
+  cfg.platform.qos.admission = args.GetString("admission", "none");
+  cfg.platform.qos.rate_rps = args.GetDouble("rate", 0.0);
+  cfg.platform.qos.max_queue_depth =
+      static_cast<std::size_t>(args.GetInt("queue-cap", 0));
+
   const std::string system = args.GetString("system", "all");
   std::vector<harness::ExperimentResult> results;
   if (system == "all") {
@@ -203,6 +214,30 @@ int CmdRun(const CliArgs& args) {
     faults.Print();
   }
 
+  // QoS table only when a non-default queue policy is active, mirroring the
+  // fault table's gating: default runs print exactly what they always did.
+  if (cfg.platform.qos.queue != "fifo" ||
+      cfg.platform.qos.admission != "none") {
+    metrics::Table qos({"system", "rejected", "queue-full", "rate-limited",
+                        "infeasible", "mean depth", "jain", "worst-fn p99"});
+    for (const auto& r : results) {
+      qos.AddRow(
+          {r.system, std::to_string(r.rejected),
+           std::to_string(r.rejects_by_cause[static_cast<std::size_t>(
+               sim::RejectCause::kQueueFull)]),
+           std::to_string(r.rejects_by_cause[static_cast<std::size_t>(
+               sim::RejectCause::kRateLimited)]),
+           std::to_string(r.rejects_by_cause[static_cast<std::size_t>(
+               sim::RejectCause::kDeadlineInfeasible)]),
+           metrics::Fmt(r.mean_queue_depth, 2),
+           metrics::Fmt(r.jain_fairness, 3),
+           metrics::Fmt(r.worst_fn_p99_s, 2) + "s"});
+    }
+    std::cout << "qos: queue " << cfg.platform.qos.queue << ", admission "
+              << cfg.platform.qos.admission << "\n";
+    qos.Print();
+  }
+
   if (args.Has("json")) {
     const std::string path = args.GetString("json", "");
     std::ofstream out(path);
@@ -240,6 +275,8 @@ int CmdSweep(const CliArgs& args) {
   spec.base.gpus_per_node = static_cast<int>(args.GetInt("gpus", 8));
   spec.base.duration = Seconds(args.GetDouble("duration", 150.0));
   spec.base.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1234));
+  spec.base.platform.qos.queue = args.GetString("queue", "fifo");
+  spec.base.platform.qos.admission = args.GetString("admission", "none");
 
   const std::string systems = args.GetString("systems", "all");
   if (systems == "all") {
@@ -401,13 +438,15 @@ int main(int argc, char** argv) {
                             {"tier", "system", "nodes", "gpus", "duration",
                              "load", "seed", "partition", "csv", "trace",
                              "json", "trace-out", "fault-rate", "fault-seed",
-                             "mttr", "timeout-scale", "jobs"}));
+                             "mttr", "timeout-scale", "queue", "admission",
+                             "rate", "queue-cap", "jobs"}));
     }
     if (cmd == "sweep") {
       return CmdSweep(CliArgs(argc, argv, 2,
                               {"systems", "tiers", "seeds", "loads",
                                "fault-rates", "nodes", "gpus", "duration",
-                               "seed", "jobs", "out", "no-timing"}));
+                               "seed", "queue", "admission", "jobs", "out",
+                               "no-timing"}));
     }
     if (cmd == "trace") {
       return CmdTrace(CliArgs(argc, argv, 2,
